@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["full_scale", "print_table", "default_ladder"]
+
+
+def full_scale() -> bool:
+    """Whether to also run the paper's largest (9216-rank) configurations."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("0", "", "false", "no")
+
+
+def default_ladder() -> list[int]:
+    """Weak-scaling ladder used by the scaling benchmarks."""
+    ladder = [576, 1152, 2304]
+    if full_scale():
+        ladder.append(9216)
+    return ladder
+
+
+def print_table(table) -> None:
+    """Render an experiment table under the benchmark output."""
+    print()
+    print(table.to_text())

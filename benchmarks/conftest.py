@@ -1,0 +1,20 @@
+"""Shared fixtures of the benchmark harness.
+
+Each benchmark regenerates one experiment of the paper's evaluation (see
+DESIGN.md, "Experiment index").  The simulated scales default to a ladder
+that completes in seconds-to-minutes on a laptop while preserving the
+qualitative shape of every result; set ``REPRO_FULL_SCALE=1`` to add the
+paper's full 9216-rank Kraken points (slower).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ._common import default_ladder
+
+
+@pytest.fixture(scope="session")
+def scale_ladder() -> list[int]:
+    """Weak-scaling ladder used by the scaling benchmarks."""
+    return default_ladder()

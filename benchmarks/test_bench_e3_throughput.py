@@ -1,0 +1,30 @@
+"""E3 (paper §IV.C): aggregate write throughput of the three approaches.
+
+Paper (Kraken): ~0.5 GB/s collective, <1.7 GB/s file-per-process, up to
+~10 GB/s with Damaris.  The shape reproduced here is the ordering and the
+roughly order-of-magnitude gap between collective I/O and the dedicated-core
+approach; the absolute Damaris number approaches the paper's value only at
+the full 9216-rank scale (REPRO_FULL_SCALE=1).
+"""
+
+from repro.experiments import check_throughput_shape, run_throughput
+from repro.util import MB
+
+from ._common import full_scale, print_table
+
+
+def test_bench_e3_throughput(benchmark):
+    ranks = 9216 if full_scale() else 2304
+    table = benchmark.pedantic(
+        run_throughput,
+        kwargs={
+            "ranks": ranks,
+            "iterations": 2,
+            "data_per_rank": 45 * MB,
+            "compute_time": 120.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(table)
+    check_throughput_shape(table)

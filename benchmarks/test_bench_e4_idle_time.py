@@ -1,0 +1,25 @@
+"""E4 (paper §IV.D): the dedicated cores are idle 92%-99% of the time."""
+
+from repro.experiments import check_spare_time_shape, run_spare_time
+from repro.util import MB
+
+from ._common import default_ladder, print_table
+
+
+def test_bench_e4_idle_time(benchmark):
+    table = benchmark.pedantic(
+        run_spare_time,
+        kwargs={
+            "scales": default_ladder(),
+            "iterations": 3,
+            "data_per_rank": 45 * MB,
+            "compute_time": 300.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(table)
+    check_spare_time_shape(table)
+    # Idle fraction should not degrade as the simulation scales out.
+    idles = table.sort_by("ranks").column("idle_fraction")
+    assert idles[-1] >= idles[0] - 0.05

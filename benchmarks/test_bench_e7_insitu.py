@@ -1,0 +1,34 @@
+"""E7 (paper §V.C.1): in-situ visualisation — synchronous vs dedicated cores.
+
+Reproduces (a) the growing, simulation-visible cost of synchronous VisIt-like
+coupling versus the flat, negligible cost of the Damaris coupling on the
+Nek5000-like workload, and (b) the iteration-skipping behaviour when the
+analysis is slower than the simulation's compute step.
+"""
+
+from repro.experiments import check_insitu_shape, run_insitu_scaling
+from repro.experiments.insitu_scale import run_insitu_backpressure
+
+from ._common import full_scale, print_table
+
+
+def test_bench_e7_insitu_scaling(benchmark):
+    scales = (92, 184, 368, 736) if full_scale() else (92, 184, 368)
+    table = benchmark.pedantic(
+        run_insitu_scaling,
+        kwargs={"scales": scales, "iterations": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(table)
+    check_insitu_shape(table)
+
+
+def test_bench_e7_iteration_skipping(benchmark):
+    table = benchmark.pedantic(run_insitu_backpressure, rounds=1, iterations=1)
+    print_table(table)
+    row = table[0]
+    # The analysis cannot keep up, so iterations are dropped rather than the
+    # simulation being stalled: the run time stays close to pure compute.
+    assert row["skipped"] > 0
+    assert row["run_time_s"] < 1.5 * row["ideal_compute_time_s"]

@@ -1,0 +1,25 @@
+"""E8 (paper §V.C.2): instrumentation effort, VisIt-like API vs Damaris.
+
+The paper rewrote the VisIt example simulations against Damaris and found
+they needed >100 lines of changes with the VisIt API but <10 with Damaris
+(one call per shared variable plus the XML description).  The benchmark
+instruments the CM1 proxy against both couplings and counts real source
+lines and API calls.
+"""
+
+from repro.experiments import check_usability_shape, run_usability
+
+from ._common import print_table
+
+
+def test_bench_e8_usability(benchmark, tmp_path):
+    table = benchmark.pedantic(
+        run_usability, kwargs={"output_dir": str(tmp_path)}, rounds=1, iterations=1
+    )
+    print_table(table)
+    check_usability_shape(table)
+    rows = {row["coupling"]: row for row in table}
+    damaris = rows["damaris (dedicated cores)"]
+    visit = rows["visit-like (synchronous)"]
+    # The per-simulation code change with Damaris is an order of magnitude smaller.
+    assert visit["code_lines"] / damaris["code_lines"] > 4
