@@ -1,0 +1,5 @@
+"""Benchmark package: one module per paper experiment (E1-E8).
+
+This ``__init__`` makes the directory a real package so the relative
+imports of ``_common`` resolve under plain pytest.
+"""

@@ -3,8 +3,8 @@
 The benefit of scheduling appears when the number of writing nodes exceeds
 the number of storage targets (their streams interleave and thrash the
 disks).  The paper reaches that regime with 768+ nodes on 336 OSTs; the
-default benchmark reproduces the same nodes-to-OSTs ratio at a smaller
-absolute scale (96 OSTs, ~210 writing nodes) so it completes quickly.
+default benchmark reproduces the same over-subscribed regime at a smaller
+absolute scale (96 OSTs, 192 writing nodes) so it completes quickly.
 ``REPRO_FULL_SCALE=1`` runs the true Kraken configuration instead.
 """
 

@@ -1,0 +1,29 @@
+"""repro — a simulation-based reproduction of conf_ipps_Dorier13.
+
+The package models the paper's dedicated-core I/O middleware (Damaris):
+one core per multicore node is dedicated to I/O, clients hand their data
+over through node-local shared memory, and the dedicated core aggregates,
+post-processes and writes it asynchronously.  A discrete-event cluster
+model (:mod:`repro.cluster`), three I/O strategies (:mod:`repro.io_models`)
+and one runner per paper experiment (:mod:`repro.experiments`) regenerate
+the qualitative shape of every figure in the evaluation.
+"""
+
+from .cluster import KRAKEN, Interference, Machine
+from .io_models import APPROACHES, Collective, DedicatedCores, FilePerProcess
+from .table import Row, Table
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Machine",
+    "KRAKEN",
+    "Interference",
+    "Table",
+    "Row",
+    "APPROACHES",
+    "FilePerProcess",
+    "Collective",
+    "DedicatedCores",
+    "__version__",
+]

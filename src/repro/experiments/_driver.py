@@ -1,0 +1,68 @@
+"""Shared plumbing of the experiment runners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from collections.abc import Iterator
+
+from ..cluster import Interference, Machine, NO_INTERFERENCE
+from ..io_models import APPROACHES, IOApproach, IterationResult
+
+__all__ = [
+    "run_iterations",
+    "run_all_approaches",
+    "iteration_period",
+    "DEFAULT_INTERFERENCE",
+]
+
+DEFAULT_INTERFERENCE = Interference()
+
+
+def iteration_period(compute_time: float, visible_s: float, backend_wall_s: float) -> float:
+    """Turnover time of one simulated iteration.
+
+    An iteration cannot turn over faster than its data drains to the OSTs:
+    an asynchronous backend write that outlasts the compute phase stalls
+    the next hand-off (backpressure), so the period is bounded below by
+    the backend wall time.
+    """
+    return max(compute_time + visible_s, backend_wall_s)
+
+
+def run_all_approaches(
+    machine: Machine,
+    ranks: int,
+    iterations: int,
+    data_per_rank: float,
+    seed: int,
+    with_interference: bool,
+) -> Iterator[tuple[IOApproach, list[IterationResult]]]:
+    """Run every approach at one scale with the standard seeding convention.
+
+    The rng is derived from ``[seed, ranks, approach index]`` so each
+    (seed, scale, approach) cell is reproducible on its own, independent of
+    which other scales or approaches run alongside it.
+    """
+    interference = DEFAULT_INTERFERENCE if with_interference else NO_INTERFERENCE
+    for i, approach in enumerate(APPROACHES):
+        rng = np.random.default_rng([seed, ranks, i])
+        yield approach, run_iterations(
+            approach, machine, ranks, iterations, data_per_rank, rng, interference
+        )
+
+
+def run_iterations(
+    approach: IOApproach,
+    machine: Machine,
+    ranks: int,
+    iterations: int,
+    data_per_rank: float,
+    rng: np.random.Generator,
+    interference: Interference = NO_INTERFERENCE,
+) -> list[IterationResult]:
+    """Run ``iterations`` simulated timesteps of one approach."""
+    return [
+        approach.run_iteration(machine, ranks, data_per_rank, rng, interference)
+        for _ in range(iterations)
+    ]

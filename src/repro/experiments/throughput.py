@@ -1,0 +1,65 @@
+"""E3 (paper §IV.C): aggregate write throughput of the three approaches.
+
+On Kraken the paper measures ~0.5 GB/s for collective I/O (stripe-lock
+plateau), under 1.7 GB/s for file-per-process (seek thrash across many
+interleaved streams), and up to ~10 GB/s with Damaris, whose dedicated
+cores write few large sequential chunks.  Throughput here is the data an
+approach makes durable divided by the wall time its backend needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import KRAKEN, Machine, resolve_machine
+from ..table import Table
+from ..util import GB, MB
+from ._driver import iteration_period, run_all_approaches
+
+__all__ = ["run_throughput", "check_throughput_shape"]
+
+
+def run_throughput(
+    ranks: int,
+    iterations: int = 2,
+    data_per_rank: float = 45 * MB,
+    compute_time: float = 120.0,
+    machine: Machine | str = KRAKEN,
+    with_interference: bool = False,
+    seed: int = 0,
+) -> Table:
+    machine = resolve_machine(machine)
+    table = Table()
+    for approach, results in run_all_approaches(
+        machine, ranks, iterations, data_per_rank, seed, with_interference
+    ):
+        throughputs = [r.bytes_written / r.backend_wall_s for r in results]
+        visible_mean = float(np.mean([r.visible_times.mean() for r in results]))
+        backend_mean = float(np.mean([r.backend_wall_s for r in results]))
+        period = iteration_period(compute_time, visible_mean, backend_mean)
+        table.append(
+            approach=approach.name,
+            ranks=ranks,
+            throughput_gb_s=float(np.mean(throughputs)) / GB,
+            io_time_s=backend_mean,
+            visible_mean_s=visible_mean,
+            run_time_s=iterations * period,
+        )
+    return table
+
+
+def check_throughput_shape(table: Table) -> None:
+    """Assert the paper's ordering and order-of-magnitude gap."""
+    by_name = {row["approach"]: row for row in table}
+    collective = by_name["collective"]["throughput_gb_s"]
+    fpp = by_name["file-per-process"]["throughput_gb_s"]
+    damaris = by_name["damaris"]["throughput_gb_s"]
+
+    # Ordering: collective < file-per-process < damaris.
+    assert collective < fpp < damaris, (collective, fpp, damaris)
+    # Absolute regimes of the paper's Kraken numbers.
+    assert collective < 1.0, collective
+    assert fpp < 2.5, fpp
+    assert damaris > 5.0, damaris
+    # Roughly an order of magnitude between collective and dedicated cores.
+    assert damaris > 8 * collective, (collective, damaris)

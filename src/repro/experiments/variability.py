@@ -1,0 +1,70 @@
+"""E2 (paper §IV.B): hiding the I/O variability.
+
+Under external file-system interference the per-rank, per-iteration write
+time of the standard approaches is wide and unpredictable — a rank whose
+file lands on a bursted OST (or an iteration whose collective write lands
+during someone else's checkpoint) pays many times the median.  The
+Damaris-visible cost is a node-local memory copy, so its distribution
+collapses to a narrow spike that does not depend on the file system's
+state at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import KRAKEN, Machine, resolve_machine
+from ..table import Table
+from ..util import MB
+from ._driver import iteration_period, run_all_approaches
+
+__all__ = ["run_variability", "check_variability_shape"]
+
+
+def run_variability(
+    ranks: int,
+    iterations: int = 5,
+    data_per_rank: float = 45 * MB,
+    compute_time: float = 120.0,
+    with_interference: bool = True,
+    machine: Machine | str = KRAKEN,
+    seed: int = 0,
+) -> Table:
+    machine = resolve_machine(machine)
+    table = Table()
+    for approach, results in run_all_approaches(
+        machine, ranks, iterations, data_per_rank, seed, with_interference
+    ):
+        # Pool every (rank, iteration) sample: the paper's distributions.
+        samples = np.concatenate([r.visible_times for r in results])
+        io_mean = float(samples.mean())
+        backend_mean = float(np.mean([r.backend_wall_s for r in results]))
+        table.append(
+            approach=approach.name,
+            ranks=ranks,
+            samples=int(samples.size),
+            io_mean_s=io_mean,
+            io_std_s=float(samples.std()),
+            io_min_s=float(samples.min()),
+            io_max_s=float(samples.max()),
+            io_p99_s=float(np.percentile(samples, 99)),
+            iteration_period_s=iteration_period(compute_time, io_mean, backend_mean),
+        )
+    return table
+
+
+def check_variability_shape(table: Table) -> None:
+    """Assert the spread of the standard approaches vs the Damaris spike."""
+    damaris = table.where(approach="damaris")[0]
+    # A node-local copy: small, and stable to within OS noise.
+    assert damaris["io_std_s"] < 0.05, damaris.as_dict()
+    assert damaris["io_max_s"] < 3 * damaris["io_mean_s"], damaris.as_dict()
+
+    for name in ("file-per-process", "collective"):
+        row = table.where(approach=name)[0]
+        # The visible write cost is orders of magnitude larger...
+        assert row["io_mean_s"] > 10 * damaris["io_mean_s"], (name, row.as_dict())
+        # ...and unpredictable: a heavy tail well above the mean, and a
+        # spread far wider than the Damaris spike.
+        assert row["io_max_s"] > 1.3 * row["io_mean_s"], (name, row.as_dict())
+        assert row["io_std_s"] > 20 * damaris["io_std_s"], (name, row.as_dict())

@@ -1,0 +1,9 @@
+"""Byte-size constants shared across the package."""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
