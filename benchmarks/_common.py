@@ -1,23 +1,31 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+The environment parsing lives in :meth:`repro.scenario.ScenarioConfig.from_env`;
+this module only re-exposes it in the shapes the benchmarks consume
+(``scenario()``, ``full_scale()``, ``default_ladder()``) so every module
+reads the same frozen configuration.
+"""
 
 from __future__ import annotations
 
-import os
+from repro.scenario import ScenarioConfig
 
-__all__ = ["full_scale", "print_table", "default_ladder"]
+__all__ = ["scenario", "full_scale", "print_table", "default_ladder"]
+
+
+def scenario() -> ScenarioConfig:
+    """The frozen run configuration parsed from the ``REPRO_*`` environment."""
+    return ScenarioConfig.from_env()
 
 
 def full_scale() -> bool:
     """Whether to also run the paper's largest (9216-rank) configurations."""
-    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("0", "", "false", "no")
+    return scenario().full_scale
 
 
 def default_ladder() -> list[int]:
     """Weak-scaling ladder used by the scaling benchmarks."""
-    ladder = [576, 1152, 2304]
-    if full_scale():
-        ladder.append(9216)
-    return ladder
+    return list(scenario().ladder)
 
 
 def print_table(table) -> None:

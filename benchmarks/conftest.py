@@ -1,23 +1,16 @@
 """Shared fixtures of the benchmark harness.
 
 Each benchmark regenerates one experiment of the paper's evaluation (see
-DESIGN.md, "Experiment index").  The simulated scales default to a ladder
-that completes in seconds-to-minutes on a laptop while preserving the
-qualitative shape of every result; set ``REPRO_FULL_SCALE=1`` to add the
+DESIGN.md, "Experiment index").  The run configuration — machine, ladder,
+data volume, seed, engine backend, sweep parallelism — comes from the
+frozen :class:`repro.scenario.ScenarioConfig` that ``_common.scenario()``
+parses from the ``REPRO_*`` environment; ``REPRO_FULL_SCALE=1`` adds the
 paper's full 9216-rank Kraken points (slower).
 """
 
 from __future__ import annotations
 
 import pytest
-
-from ._common import default_ladder
-
-
-@pytest.fixture(scope="session")
-def scale_ladder() -> list[int]:
-    """Weak-scaling ladder used by the scaling benchmarks."""
-    return default_ladder()
 
 
 class _NoOpBenchmark:

@@ -7,19 +7,22 @@ visible I/O phase negligible (≈3.5x overall speedup at 9216 ranks).
 """
 
 from repro.experiments import check_scaling_shape, run_weak_scaling
-from repro.util import MB
 
-from ._common import print_table
+from ._common import print_table, scenario
 
 
-def test_bench_e1_weak_scaling(benchmark, scale_ladder):
+def test_bench_e1_weak_scaling(benchmark):
+    sc = scenario()
     table = benchmark.pedantic(
         run_weak_scaling,
         kwargs={
-            "scales": scale_ladder,
+            "scales": list(sc.ladder),
             "iterations": 2,
-            "data_per_rank": 45 * MB,
+            "data_per_rank": sc.data_per_rank,
             "compute_time": 300.0,
+            "machine": sc.machine,
+            "seed": sc.seed,
+            "n_jobs": sc.jobs,
         },
         rounds=1,
         iterations=1,

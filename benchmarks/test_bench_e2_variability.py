@@ -6,21 +6,24 @@ approaches, collapsed to a scale-independent shared-memory copy for Damaris.
 """
 
 from repro.experiments import check_variability_shape, run_variability
-from repro.util import MB
 
-from ._common import full_scale, print_table
+from ._common import print_table, scenario
 
 
 def test_bench_e2_variability(benchmark):
-    ranks = 2304 if full_scale() else 1152
+    sc = scenario()
+    ranks = 2304 if sc.full_scale else 1152
     table = benchmark.pedantic(
         run_variability,
         kwargs={
             "ranks": ranks,
             "iterations": 5,
-            "data_per_rank": 45 * MB,
+            "data_per_rank": sc.data_per_rank,
             "compute_time": 120.0,
             "with_interference": True,
+            "interference": sc.interference,
+            "machine": sc.machine,
+            "seed": sc.seed,
         },
         rounds=1,
         iterations=1,

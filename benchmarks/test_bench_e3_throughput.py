@@ -8,20 +8,23 @@ the full 9216-rank scale (REPRO_FULL_SCALE=1).
 """
 
 from repro.experiments import check_throughput_shape, run_throughput
-from repro.util import MB
+from repro.scenario import FULL_SCALE_RANKS
 
-from ._common import full_scale, print_table
+from ._common import print_table, scenario
 
 
 def test_bench_e3_throughput(benchmark):
-    ranks = 9216 if full_scale() else 2304
+    sc = scenario()
+    ranks = FULL_SCALE_RANKS if sc.full_scale else 2304
     table = benchmark.pedantic(
         run_throughput,
         kwargs={
             "ranks": ranks,
             "iterations": 2,
-            "data_per_rank": 45 * MB,
+            "data_per_rank": sc.data_per_rank,
             "compute_time": 120.0,
+            "machine": sc.machine,
+            "seed": sc.seed,
         },
         rounds=1,
         iterations=1,

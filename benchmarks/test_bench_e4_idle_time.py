@@ -1,19 +1,21 @@
 """E4 (paper §IV.D): the dedicated cores are idle 92%-99% of the time."""
 
 from repro.experiments import check_spare_time_shape, run_spare_time
-from repro.util import MB
 
-from ._common import default_ladder, print_table
+from ._common import print_table, scenario
 
 
 def test_bench_e4_idle_time(benchmark):
+    sc = scenario()
     table = benchmark.pedantic(
         run_spare_time,
         kwargs={
-            "scales": default_ladder(),
+            "scales": list(sc.ladder),
             "iterations": 3,
-            "data_per_rank": 45 * MB,
+            "data_per_rank": sc.data_per_rank,
             "compute_time": 300.0,
+            "machine": sc.machine,
+            "seed": sc.seed,
         },
         rounds=1,
         iterations=1,

@@ -8,13 +8,14 @@ writer plugin.
 
 from repro.experiments import check_compression_shape, run_compression
 
-from ._common import print_table
+from ._common import print_table, scenario
 
 
 def test_bench_e5_compression(benchmark, tmp_path):
+    sc = scenario()
     table = benchmark.pedantic(
         run_compression,
-        kwargs={"output_dir": str(tmp_path)},
+        kwargs={"output_dir": str(tmp_path), "machine": sc.machine, "seed": sc.seed},
         rounds=1,
         iterations=1,
     )

@@ -9,14 +9,20 @@ analysis is slower than the simulation's compute step.
 from repro.experiments import check_insitu_shape, run_insitu_scaling
 from repro.experiments.insitu_scale import run_insitu_backpressure
 
-from ._common import full_scale, print_table
+from ._common import print_table, scenario
 
 
 def test_bench_e7_insitu_scaling(benchmark):
-    scales = (92, 184, 368, 736) if full_scale() else (92, 184, 368)
+    sc = scenario()
+    scales = (92, 184, 368, 736) if sc.full_scale else (92, 184, 368)
     table = benchmark.pedantic(
         run_insitu_scaling,
-        kwargs={"scales": scales, "iterations": 3},
+        kwargs={
+            "scales": scales,
+            "iterations": 3,
+            "machine": sc.machine,
+            "seed": sc.seed,
+        },
         rounds=1,
         iterations=1,
     )
@@ -25,7 +31,13 @@ def test_bench_e7_insitu_scaling(benchmark):
 
 
 def test_bench_e7_iteration_skipping(benchmark):
-    table = benchmark.pedantic(run_insitu_backpressure, rounds=1, iterations=1)
+    sc = scenario()
+    table = benchmark.pedantic(
+        run_insitu_backpressure,
+        kwargs={"machine": sc.machine},
+        rounds=1,
+        iterations=1,
+    )
     print_table(table)
     row = table[0]
     # The analysis cannot keep up, so iterations are dropped rather than the

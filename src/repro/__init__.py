@@ -3,27 +3,69 @@
 The package models the paper's dedicated-core I/O middleware (Damaris):
 one core per multicore node is dedicated to I/O, clients hand their data
 over through node-local shared memory, and the dedicated core aggregates,
-post-processes and writes it asynchronously.  A discrete-event cluster
-model (:mod:`repro.cluster`), three I/O strategies (:mod:`repro.io_models`)
-and one runner per paper experiment (:mod:`repro.experiments`) regenerate
-the qualitative shape of every figure in the evaluation.
+post-processes and writes it asynchronously.  The layers, bottom up:
+
+* :mod:`repro.engine` — machine registry, interference model, and the
+  vectorized/reference processor-sharing OST solvers.
+* :mod:`repro.io_models` — the I/O approaches (file-per-process,
+  collective, damaris, dedicated-nodes) and their registry.
+* :mod:`repro.scenario` — the frozen :class:`ScenarioConfig` that pins a
+  run's machine, ladder, interference, data volume and seed.
+* :mod:`repro.experiments` — one runner per paper experiment (E1-E8),
+  swept serially or across a process pool.
+
+``python -m repro run e1 --machine kraken --full-scale`` drives any
+experiment from the command line.
 """
 
-from .cluster import KRAKEN, Interference, Machine
-from .io_models import APPROACHES, Collective, DedicatedCores, FilePerProcess
+from .engine import (
+    EXASCALE,
+    GRID5000,
+    KRAKEN,
+    Interference,
+    Machine,
+    RequestBatch,
+    WriteRequest,
+    machine_names,
+    register_machine,
+    resolve_machine,
+)
+from .io_models import (
+    APPROACHES,
+    Collective,
+    DedicatedCores,
+    DedicatedNodes,
+    FilePerProcess,
+    approach_names,
+    register_approach,
+    resolve_approach,
+)
+from .scenario import ScenarioConfig
 from .table import Row, Table
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Machine",
     "KRAKEN",
+    "GRID5000",
+    "EXASCALE",
     "Interference",
+    "WriteRequest",
+    "RequestBatch",
     "Table",
     "Row",
+    "ScenarioConfig",
     "APPROACHES",
     "FilePerProcess",
     "Collective",
     "DedicatedCores",
+    "DedicatedNodes",
+    "register_machine",
+    "resolve_machine",
+    "machine_names",
+    "register_approach",
+    "resolve_approach",
+    "approach_names",
     "__version__",
 ]

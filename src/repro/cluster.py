@@ -1,242 +1,41 @@
-"""Discrete-event model of a Kraken-like cluster and its Lustre file system.
+"""Deprecated alias of :mod:`repro.engine`.
 
-The paper's platform is Kraken: a Cray XT5 with 12-core nodes and a Lustre
-scratch file system with 336 object storage targets (OSTs).  The model here
-keeps the pieces that drive the paper's results:
-
-* A :class:`Machine` description (cores per node, OST count, per-OST stream
-  bandwidth, node-local shared-memory bandwidth, metadata-server rate).
-* An OST **contention model**: an OST serving ``n`` interleaved streams
-  processor-shares its bandwidth *and* pays a seek penalty that grows with
-  the number of streams — interleaved writes thrash the disk heads, which is
-  why file-per-process collapses at scale and why coordinating writers into
-  waves (E6) helps.  Large aggregated sequential writes (dedicated cores,
-  collective aggregators) amortise seeks and therefore use a smaller
-  penalty slope.
-* An **interference model**: external applications sharing the file system
-  appear as background streams on each OST (a Poisson base load plus rare
-  heavy bursts), which is what makes the standard approaches' I/O time wide
-  and unpredictable in E2.
-* :func:`simulate_writes`, a small event-driven processor-sharing simulator
-  that plays a set of timed write requests against the OSTs and returns each
-  request's completion time.
-
-All randomness flows through an explicit ``numpy`` generator, so a fixed
-seed reproduces a run bit-for-bit.
+The cluster model moved into the :mod:`repro.engine` package (machine
+registry, interference model, and the vectorized/reference OST solvers).
+This module remains so seed-era imports keep working; new code should
+import from :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, replace
-
-import numpy as np
-
-from .util import GB, MB
+from .engine import (
+    EXASCALE,
+    GRID5000,
+    KRAKEN,
+    NO_INTERFERENCE,
+    PENALTY_CAP,
+    Interference,
+    Machine,
+    RequestBatch,
+    WriteRequest,
+    machine_names,
+    register_machine,
+    resolve_machine,
+    simulate_writes,
+)
 
 __all__ = [
     "Machine",
     "KRAKEN",
+    "GRID5000",
+    "EXASCALE",
+    "PENALTY_CAP",
     "Interference",
+    "NO_INTERFERENCE",
     "WriteRequest",
+    "RequestBatch",
     "simulate_writes",
+    "register_machine",
     "resolve_machine",
+    "machine_names",
 ]
-
-#: Seek-thrash penalty saturates once the request queue is deep enough for
-#: elevator scheduling to merge neighbouring writes.
-PENALTY_CAP = 20.0
-
-
-@dataclass(frozen=True)
-class Machine:
-    """Static description of a compute platform and its parallel file system."""
-
-    name: str
-    cores_per_node: int
-    ost_count: int
-    #: Sustained bandwidth of one OST serving a single sequential stream.
-    ost_bandwidth: float
-    #: Node-local shared-memory copy bandwidth (client -> dedicated core).
-    shm_bandwidth: float
-    #: File creations per second the metadata server sustains (file-per-process
-    #: floods it with one create per rank per iteration).
-    metadata_rate: float
-    #: Plateau bandwidth of collective (shared-file) MPI-IO on this system;
-    #: stripe-lock contention keeps it far below the hardware peak.
-    collective_bandwidth: float
-    #: Seek-penalty slope for many small interleaved streams (file-per-process).
-    small_write_seek_penalty: float = 2.8
-    #: Seek-penalty slope for large aggregated sequential writes.
-    large_write_seek_penalty: float = 0.3
-
-    def with_overrides(self, **overrides: object) -> Machine:
-        """A copy of this machine with some fields replaced (e.g. a smaller
-        ``ost_count`` to reach the paper's nodes-to-OSTs ratio cheaply)."""
-        return replace(self, **overrides)  # type: ignore[arg-type]
-
-    @property
-    def peak_bandwidth(self) -> float:
-        """Aggregate file-system peak: every OST streaming unimpeded."""
-        return self.ost_count * self.ost_bandwidth
-
-    def nodes_for(self, ranks: int) -> int:
-        """Number of nodes a run of ``ranks`` cores occupies (ceiling)."""
-        return -(-ranks // self.cores_per_node)
-
-    def seek_penalty(self, streams: float, *, large_writes: bool) -> float:
-        """Effective slowdown of an OST serving ``streams`` interleaved writers."""
-        if streams <= 1.0:
-            return 1.0
-        slope = (
-            self.large_write_seek_penalty
-            if large_writes
-            else self.small_write_seek_penalty
-        )
-        return min(1.0 + slope * (streams - 1.0), PENALTY_CAP)
-
-
-#: Kraken (NICS): Cray XT5, 12-core nodes, Lustre with 336 OSTs and a peak
-#: on the order of 30 GB/s.  ``collective_bandwidth`` is the shared-file
-#: plateau the paper observes (~0.5 GB/s).
-KRAKEN = Machine(
-    name="kraken",
-    cores_per_node=12,
-    ost_count=336,
-    ost_bandwidth=90 * MB,
-    shm_bandwidth=0.6 * GB,
-    metadata_rate=400.0,
-    collective_bandwidth=0.55 * GB,
-)
-
-_MACHINES = {KRAKEN.name: KRAKEN}
-
-
-def resolve_machine(machine: Machine | str) -> Machine:
-    """Accept either a :class:`Machine` or a registered machine name."""
-    if isinstance(machine, Machine):
-        return machine
-    try:
-        return _MACHINES[machine.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown machine {machine!r}; known: {sorted(_MACHINES)}"
-        ) from None
-
-
-@dataclass(frozen=True)
-class Interference:
-    """External file-system load from applications sharing the machine.
-
-    Each OST carries a Poisson-distributed number of background streams, and
-    a few unlucky OSTs are hit by heavy bursts (a checkpoint from another
-    job, a RAID rebuild, ...).  Background streams take their processor
-    share of the OST and deepen the seek penalty, so a rank whose file lands
-    on a bursted OST sees a write that is many times slower than the median
-    — the unpredictability the paper measures in §IV.B.
-    """
-
-    background_streams: float = 1.2
-    burst_probability: float = 0.1
-    burst_streams: tuple[int, int] = (4, 12)
-    #: Log-normal sigma of the slowdown collective MPI-IO sees per iteration.
-    collective_sigma: float = 0.45
-    #: Chance that a whole collective write lands during a heavy burst.
-    collective_burst_probability: float = 0.25
-    collective_burst_slowdown: tuple[float, float] = (2.0, 5.0)
-
-    def sample_background(self, machine: Machine, rng: np.random.Generator) -> np.ndarray:
-        """Background stream count per OST for one iteration."""
-        load = rng.poisson(self.background_streams, size=machine.ost_count)
-        bursts = rng.random(machine.ost_count) < self.burst_probability
-        lo, hi = self.burst_streams
-        load = load + bursts * rng.integers(lo, hi + 1, size=machine.ost_count)
-        return load.astype(float)
-
-    def collective_slowdown(self, rng: np.random.Generator) -> float:
-        """Multiplicative slowdown of one collective write phase."""
-        slow = float(rng.lognormal(mean=0.0, sigma=self.collective_sigma))
-        if rng.random() < self.collective_burst_probability:
-            lo, hi = self.collective_burst_slowdown
-            slow *= float(rng.uniform(lo, hi))
-        return max(slow, 0.5)
-
-
-#: The quiet file system: no background streams, no bursts, no jitter.
-NO_INTERFERENCE = Interference(
-    background_streams=0.0,
-    burst_probability=0.0,
-    collective_sigma=0.0,
-    collective_burst_probability=0.0,
-)
-
-
-@dataclass(frozen=True)
-class WriteRequest:
-    """One timed write against one OST."""
-
-    arrival: float
-    ost: int
-    nbytes: float
-    tag: int
-
-
-def simulate_writes(
-    machine: Machine,
-    requests: list[WriteRequest],
-    *,
-    background: np.ndarray | None = None,
-    large_writes: bool,
-) -> dict[int, float]:
-    """Play write requests against the OSTs; return ``tag -> completion time``.
-
-    Each OST is an independent processor-sharing server: at any instant its
-    ``n`` active streams (real plus background) each progress at
-    ``bandwidth / (n * seek_penalty(n))``.  The event loop per OST advances
-    to the next arrival or completion, so cost is O(requests per OST **2)
-    with tiny constants — a few thousand ranks simulate in milliseconds.
-    """
-    per_ost: dict[int, list[WriteRequest]] = {}
-    for req in requests:
-        per_ost.setdefault(req.ost % machine.ost_count, []).append(req)
-
-    done: dict[int, float] = {}
-    for ost, reqs in per_ost.items():
-        bg = float(background[ost]) if background is not None else 0.0
-        done.update(_simulate_one_ost(machine, reqs, bg, large_writes))
-    return done
-
-
-def _simulate_one_ost(
-    machine: Machine,
-    reqs: list[WriteRequest],
-    background: float,
-    large_writes: bool,
-) -> dict[int, float]:
-    reqs = sorted(reqs, key=lambda r: (r.arrival, r.tag))
-    bw = machine.ost_bandwidth
-    done: dict[int, float] = {}
-    active: dict[int, float] = {}  # tag -> remaining bytes
-    i = 0
-    t = 0.0
-    while i < len(reqs) or active:
-        if not active:
-            t = max(t, reqs[i].arrival)
-        while i < len(reqs) and reqs[i].arrival <= t + 1e-12:
-            active[reqs[i].tag] = reqs[i].nbytes
-            i += 1
-        streams = len(active) + background
-        rate = bw / (streams * machine.seek_penalty(streams, large_writes=large_writes))
-        dt_complete = min(active.values()) / rate
-        dt_arrival = reqs[i].arrival - t if i < len(reqs) else math.inf
-        dt = min(dt_complete, dt_arrival)
-        t += dt
-        finished = []
-        for tag in active:
-            active[tag] -= rate * dt
-            if active[tag] <= 1e-6:
-                finished.append(tag)
-        for tag in finished:
-            done[tag] = t
-            del active[tag]
-    return done

@@ -1,0 +1,58 @@
+"""External file-system load shared by every simulated iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machines import Machine
+
+__all__ = ["Interference", "NO_INTERFERENCE"]
+
+
+@dataclass(frozen=True)
+class Interference:
+    """External file-system load from applications sharing the machine.
+
+    Each OST carries a Poisson-distributed number of background streams, and
+    a few unlucky OSTs are hit by heavy bursts (a checkpoint from another
+    job, a RAID rebuild, ...).  Background streams take their processor
+    share of the OST and deepen the seek penalty, so a rank whose file lands
+    on a bursted OST sees a write that is many times slower than the median
+    — the unpredictability the paper measures in §IV.B.
+    """
+
+    background_streams: float = 1.2
+    burst_probability: float = 0.1
+    burst_streams: tuple[int, int] = (4, 12)
+    #: Log-normal sigma of the slowdown collective MPI-IO sees per iteration.
+    collective_sigma: float = 0.45
+    #: Chance that a whole collective write lands during a heavy burst.
+    collective_burst_probability: float = 0.25
+    collective_burst_slowdown: tuple[float, float] = (2.0, 5.0)
+
+    def sample_background(self, machine: Machine, rng: np.random.Generator) -> np.ndarray:
+        """Background stream count per OST for one iteration."""
+        load = rng.poisson(self.background_streams, size=machine.ost_count)
+        bursts = rng.random(machine.ost_count) < self.burst_probability
+        lo, hi = self.burst_streams
+        load = load + bursts * rng.integers(lo, hi + 1, size=machine.ost_count)
+        return load.astype(float)
+
+    def collective_slowdown(self, rng: np.random.Generator) -> float:
+        """Multiplicative slowdown of one collective write phase."""
+        slow = float(rng.lognormal(mean=0.0, sigma=self.collective_sigma))
+        if rng.random() < self.collective_burst_probability:
+            lo, hi = self.collective_burst_slowdown
+            slow *= float(rng.uniform(lo, hi))
+        return max(slow, 0.5)
+
+
+#: The quiet file system: no background streams, no bursts, no jitter.
+NO_INTERFERENCE = Interference(
+    background_streams=0.0,
+    burst_probability=0.0,
+    collective_sigma=0.0,
+    collective_burst_probability=0.0,
+)

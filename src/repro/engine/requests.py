@@ -1,0 +1,84 @@
+"""Write-request containers consumed by the engine backends.
+
+:class:`WriteRequest` is the original one-object-per-write form; it is
+kept for tests and ad-hoc use.  The hot path of the I/O models builds a
+:class:`RequestBatch` instead — a struct-of-arrays over the same four
+fields — so an iteration with thousands of writers costs four numpy
+arrays rather than thousands of Python objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WriteRequest", "RequestBatch"]
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """One timed write against one OST."""
+
+    arrival: float
+    ost: int
+    nbytes: float
+    tag: int
+
+
+class RequestBatch:
+    """A batch of write requests as parallel numpy arrays.
+
+    Scalar ``arrival``/``ost``/``nbytes`` broadcast to the batch length;
+    ``tag`` defaults to the position in the batch (``0..n-1``), which is
+    also the order of the completion-time array the solvers return.
+    """
+
+    __slots__ = ("arrival", "ost", "nbytes", "tag")
+
+    def __init__(self, arrival, ost, nbytes, tag=None):
+        arrival = np.atleast_1d(np.asarray(arrival, dtype=np.float64))
+        ost = np.atleast_1d(np.asarray(ost, dtype=np.int64))
+        nbytes = np.atleast_1d(np.asarray(nbytes, dtype=np.float64))
+        n = max(arrival.size, ost.size, nbytes.size)
+        self.arrival = np.broadcast_to(arrival, (n,))
+        self.ost = np.broadcast_to(ost, (n,))
+        self.nbytes = np.broadcast_to(nbytes, (n,))
+        if tag is None:
+            self.tag = np.arange(n, dtype=np.int64)
+        else:
+            self.tag = np.atleast_1d(np.asarray(tag, dtype=np.int64))
+            if self.tag.size != n:
+                raise ValueError(f"tag length {self.tag.size} does not match batch length {n}")
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[WriteRequest]) -> RequestBatch:
+        """Build a batch from :class:`WriteRequest` objects."""
+        requests = list(requests)
+        if not requests:
+            return cls(np.empty(0), np.empty(0, dtype=np.int64), np.empty(0))
+        return cls(
+            arrival=[r.arrival for r in requests],
+            ost=[r.ost for r in requests],
+            nbytes=[r.nbytes for r in requests],
+            tag=[r.tag for r in requests],
+        )
+
+    def to_requests(self) -> list[WriteRequest]:
+        """The batch as a list of :class:`WriteRequest` objects."""
+        return [
+            WriteRequest(
+                arrival=float(self.arrival[i]),
+                ost=int(self.ost[i]),
+                nbytes=float(self.nbytes[i]),
+                tag=int(self.tag[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def __len__(self) -> int:
+        return int(self.arrival.size)
+
+    def __repr__(self) -> str:
+        return f"RequestBatch({len(self)} requests)"

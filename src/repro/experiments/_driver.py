@@ -1,17 +1,29 @@
-"""Shared plumbing of the experiment runners."""
+"""Shared plumbing of the experiment runners: seeding, cells, and sweeps."""
 
 from __future__ import annotations
 
+import os
+import zlib
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 
-from collections.abc import Iterator
-
-from ..cluster import Interference, Machine, NO_INTERFERENCE
-from ..io_models import APPROACHES, IOApproach, IterationResult
+from ..engine import (
+    Interference,
+    Machine,
+    NO_INTERFERENCE,
+    default_backend,
+    set_default_backend,
+)
+from ..io_models import IOApproach, IterationResult, resolve_approaches
 
 __all__ = [
     "run_iterations",
     "run_all_approaches",
+    "run_sweep",
+    "cell_rng",
+    "approach_seed_key",
     "iteration_period",
     "DEFAULT_INTERFERENCE",
 ]
@@ -30,26 +42,26 @@ def iteration_period(compute_time: float, visible_s: float, backend_wall_s: floa
     return max(compute_time + visible_s, backend_wall_s)
 
 
-def run_all_approaches(
-    machine: Machine,
-    ranks: int,
-    iterations: int,
-    data_per_rank: float,
-    seed: int,
-    with_interference: bool,
-) -> Iterator[tuple[IOApproach, list[IterationResult]]]:
-    """Run every approach at one scale with the standard seeding convention.
+def approach_seed_key(name: str) -> int:
+    """Stable integer identity of an approach for rng derivation.
 
-    The rng is derived from ``[seed, ranks, approach index]`` so each
-    (seed, scale, approach) cell is reproducible on its own, independent of
-    which other scales or approaches run alongside it.
+    A CRC of the approach *name* — not its position in the selection — so
+    adding, removing or reordering approaches can never silently shift an
+    existing experiment's random stream.
     """
-    interference = DEFAULT_INTERFERENCE if with_interference else NO_INTERFERENCE
-    for i, approach in enumerate(APPROACHES):
-        rng = np.random.default_rng([seed, ranks, i])
-        yield approach, run_iterations(
-            approach, machine, ranks, iterations, data_per_rank, rng, interference
-        )
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def cell_rng(seed: int, ranks: int, approach: IOApproach | str) -> np.random.Generator:
+    """The rng of one (seed, scale, approach) cell of a sweep.
+
+    Derived from ``[seed, ranks, crc32(approach.name)]``, so every cell is
+    reproducible on its own, independent of which other scales or
+    approaches run alongside it — which is also what makes the cells of
+    :func:`run_sweep` safe to run in parallel processes.
+    """
+    name = approach if isinstance(approach, str) else approach.name
+    return np.random.default_rng([seed, ranks, approach_seed_key(name)])
 
 
 def run_iterations(
@@ -66,3 +78,87 @@ def run_iterations(
         approach.run_iteration(machine, ranks, data_per_rank, rng, interference)
         for _ in range(iterations)
     ]
+
+
+def _effective_interference(
+    with_interference: bool, interference: Interference | None
+) -> Interference:
+    """The model a run faces: the given one when enabled, else a quiet system."""
+    if not with_interference:
+        return NO_INTERFERENCE
+    return DEFAULT_INTERFERENCE if interference is None else interference
+
+
+def run_all_approaches(
+    machine: Machine,
+    ranks: int,
+    iterations: int,
+    data_per_rank: float,
+    seed: int,
+    with_interference: bool,
+    approaches: Sequence[IOApproach | str] | None = None,
+    interference: Interference | None = None,
+) -> Iterator[tuple[IOApproach, list[IterationResult]]]:
+    """Run a selection of approaches at one scale with the standard seeding.
+
+    ``approaches`` may mix instances and registered names; ``None`` selects
+    the paper's original three.  ``interference`` overrides the default
+    model when ``with_interference`` is set (e.g. a scenario's own).
+    """
+    effective = _effective_interference(with_interference, interference)
+    for approach in resolve_approaches(approaches):
+        rng = cell_rng(seed, ranks, approach)
+        yield approach, run_iterations(
+            approach, machine, ranks, iterations, data_per_rank, rng, effective
+        )
+
+
+def _run_cell(args) -> tuple[int, str, list[IterationResult]]:
+    """One (scale, approach) cell of a sweep; module-level so it pickles."""
+    machine, ranks, iterations, data_per_rank, seed, interference, approach, backend = args
+    if backend is not None:
+        set_default_backend(backend)
+    rng = cell_rng(seed, ranks, approach)
+    results = run_iterations(approach, machine, ranks, iterations, data_per_rank, rng, interference)
+    return ranks, approach.name, results
+
+
+def _resolve_jobs(n_jobs: int | None) -> int:
+    if n_jobs is None:
+        n_jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return max(1, n_jobs)
+
+
+def run_sweep(
+    machine: Machine,
+    scales: Sequence[int],
+    iterations: int,
+    data_per_rank: float,
+    seed: int,
+    with_interference: bool,
+    approaches: Sequence[IOApproach | str] | None = None,
+    n_jobs: int | None = None,
+    interference: Interference | None = None,
+) -> dict[tuple[int, str], list[IterationResult]]:
+    """Run every (scale, approach) cell, optionally across a process pool.
+
+    The per-cell rng derivation (:func:`cell_rng`) makes every cell
+    independent of execution order, so the result is bit-identical whether
+    the sweep runs serially or on ``n_jobs`` worker processes
+    (``REPRO_JOBS`` when ``None``).
+    """
+    resolved = resolve_approaches(approaches)
+    backend = default_backend()
+    effective = _effective_interference(with_interference, interference)
+    cells = [
+        (machine, ranks, iterations, data_per_rank, seed, effective, approach, backend)
+        for ranks in scales
+        for approach in resolved
+    ]
+    n_jobs = min(_resolve_jobs(n_jobs), len(cells)) if cells else 1
+    if n_jobs <= 1:
+        outcomes = map(_run_cell, cells)
+    else:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            outcomes = list(pool.map(_run_cell, cells))
+    return {(ranks, name): results for ranks, name, results in outcomes}

@@ -22,7 +22,7 @@ import zlib
 
 import numpy as np
 
-from ..cluster import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Machine, resolve_machine
 from ..table import Table
 
 __all__ = ["cm1_like_field", "run_compression", "check_compression_shape"]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Machine, resolve_machine
 from ..table import Table
 
 __all__ = ["run_insitu_scaling", "run_insitu_backpressure", "check_insitu_shape"]
@@ -42,9 +42,7 @@ def run_insitu_scaling(
         rng = np.random.default_rng([seed, cores])
         # Synchronous VisIt-like coupling: rendering plus an all-to-one
         # reduction inside the loop; grows with the core count.
-        sync_samples = (
-            0.02 * cores**0.85 * rng.lognormal(0.0, 0.05, size=iterations)
-        )
+        sync_samples = 0.02 * cores**0.85 * rng.lognormal(0.0, 0.05, size=iterations)
         # Damaris coupling: the shared-memory copy, flat in the core count.
         copy = NEK_DATA_PER_CORE / machine.shm_bandwidth
         damaris_samples = copy * rng.lognormal(0.0, 0.05, size=iterations)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster import KRAKEN, Machine, WriteRequest, resolve_machine, simulate_writes
+from ..engine import KRAKEN, Machine, RequestBatch, resolve_machine, solve
 from ..io_models import DedicatedCores
 from ..table import Table
 from ..util import GB, MB
@@ -50,6 +50,7 @@ def run_scheduling(
     compute_time: float = 120.0,
     with_interference: bool = False,
     seed: int = 0,
+    interference=None,
 ) -> Table:
     machine = resolve_machine(machine)
     if wave_size is None:
@@ -59,13 +60,14 @@ def run_scheduling(
     total_bytes = node_bytes * nodes
 
     rng = np.random.default_rng([seed, ranks, wave_size])
-    interference = DEFAULT_INTERFERENCE if with_interference else None
+    if with_interference:
+        interference = DEFAULT_INTERFERENCE if interference is None else interference
+    else:
+        interference = None
     # Both policies face the same file-system weather and OST placement.
     per_iteration = []
     for _ in range(iterations):
-        background = (
-            interference.sample_background(machine, rng) if interference else None
-        )
+        background = interference.sample_background(machine, rng) if interference else None
         osts = rng.permutation(nodes) % machine.ost_count
         per_iteration.append((background, osts))
 
@@ -75,14 +77,9 @@ def run_scheduling(
         for background, osts in per_iteration:
             if policy == "unscheduled":
                 # Every dedicated core fires as soon as its data is ready.
-                requests = [
-                    WriteRequest(arrival=0.0, ost=int(osts[i]), nbytes=node_bytes, tag=i)
-                    for i in range(nodes)
-                ]
-                done = simulate_writes(
-                    machine, requests, background=background, large_writes=True
-                )
-                walls.append(max(done.values()))
+                batch = RequestBatch(arrival=0.0, ost=osts, nbytes=node_bytes)
+                done = solve(machine, batch, background=background, large_writes=True)
+                walls.append(float(done.max()))
             else:
                 # Waves of at most wave_size writers, one after the other.
                 # The scheduler knows the OST placement and spreads each
@@ -90,16 +87,9 @@ def run_scheduling(
                 # stream per OST — that balance is what coordination buys.
                 wall = 0.0
                 for wave in _balanced_waves(osts, nodes, wave_size):
-                    requests = [
-                        WriteRequest(
-                            arrival=0.0, ost=int(osts[i]), nbytes=node_bytes, tag=i
-                        )
-                        for i in wave
-                    ]
-                    done = simulate_writes(
-                        machine, requests, background=background, large_writes=True
-                    )
-                    wall += max(done.values())
+                    batch = RequestBatch(arrival=0.0, ost=osts[wave], nbytes=node_bytes)
+                    done = solve(machine, batch, background=background, large_writes=True)
+                    wall += float(done.max())
                 walls.append(wall)
         wall_mean = float(np.mean(walls))
         table.append(

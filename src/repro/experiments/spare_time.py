@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Machine, resolve_machine
 from ..io_models import DedicatedCores
 from ..table import Table
 from ..util import MB
@@ -34,9 +34,7 @@ def run_spare_time(
     table = Table()
     for ranks in scales:
         rng = np.random.default_rng([seed, ranks])
-        results = run_iterations(
-            approach, machine, ranks, iterations, data_per_rank, rng
-        )
+        results = run_iterations(approach, machine, ranks, iterations, data_per_rank, rng)
         nodes = machine.nodes_for(ranks)
         node_bytes = approach.node_bytes(machine, ranks, data_per_rank)
         # Ingest of the clients' shared-memory copies plus the async write.

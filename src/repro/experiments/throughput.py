@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Machine, resolve_machine
 from ..table import Table
 from ..util import GB, MB
 from ._driver import iteration_period, run_all_approaches
@@ -27,11 +27,20 @@ def run_throughput(
     machine: Machine | str = KRAKEN,
     with_interference: bool = False,
     seed: int = 0,
+    approaches=None,
+    interference=None,
 ) -> Table:
     machine = resolve_machine(machine)
     table = Table()
     for approach, results in run_all_approaches(
-        machine, ranks, iterations, data_per_rank, seed, with_interference
+        machine,
+        ranks,
+        iterations,
+        data_per_rank,
+        seed,
+        with_interference,
+        approaches=approaches,
+        interference=interference,
     ):
         throughputs = [r.bytes_written / r.backend_wall_s for r in results]
         visible_mean = float(np.mean([r.visible_times.mean() for r in results]))

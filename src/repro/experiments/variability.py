@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..cluster import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Machine, resolve_machine
 from ..table import Table
 from ..util import MB
 from ._driver import iteration_period, run_all_approaches
@@ -29,11 +29,20 @@ def run_variability(
     with_interference: bool = True,
     machine: Machine | str = KRAKEN,
     seed: int = 0,
+    approaches=None,
+    interference=None,
 ) -> Table:
     machine = resolve_machine(machine)
     table = Table()
     for approach, results in run_all_approaches(
-        machine, ranks, iterations, data_per_rank, seed, with_interference
+        machine,
+        ranks,
+        iterations,
+        data_per_rank,
+        seed,
+        with_interference,
+        approaches=approaches,
+        interference=interference,
     ):
         # Pool every (rank, iteration) sample: the paper's distributions.
         samples = np.concatenate([r.visible_times for r in results])

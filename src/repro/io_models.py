@@ -1,4 +1,4 @@
-"""The three I/O approaches the paper compares.
+"""The I/O approaches the paper compares, plus a registry to pick them by name.
 
 * **file-per-process** — every rank creates and writes its own file each
   iteration.  The metadata server serialises the create storm, and with
@@ -15,11 +15,22 @@
   ~0.1 s for 45 MB), after which the dedicated core aggregates the node's
   data and writes it asynchronously, overlapped with the next compute
   phase, in large sequential chunks (shallow seek penalty).
+* **dedicated-nodes** — the natural Damaris variant: whole nodes are
+  dedicated to I/O and clients forward their data over the interconnect
+  instead of through node-local shared memory.  Every core of a compute
+  node runs simulation code, but the visible cost is the network drain of
+  a whole group's data into its forwarder's NIC — higher than a memory
+  copy, still far below any synchronous write — and the few forwarders
+  write even larger aggregated chunks against the OSTs.
 
 Each strategy's :meth:`~IOApproach.run_iteration` returns an
 :class:`IterationResult` with the per-client *visible* times plus what the
 backend did, so the experiment runners in :mod:`repro.experiments` can
 derive phase means, aggregate throughput, idle fractions and run times.
+
+Approaches register themselves by name (:func:`register_approach`), so
+experiments and the CLI can select subsets with strings; the paper's
+original three remain the default selection.
 """
 
 from __future__ import annotations
@@ -28,7 +39,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cluster import Interference, Machine, NO_INTERFERENCE, WriteRequest, simulate_writes
+from .engine import (
+    NO_INTERFERENCE,
+    Interference,
+    Machine,
+    RequestBatch,
+    solve,
+)
 
 __all__ = [
     "IterationResult",
@@ -36,7 +53,13 @@ __all__ = [
     "FilePerProcess",
     "Collective",
     "DedicatedCores",
+    "DedicatedNodes",
     "APPROACHES",
+    "DEFAULT_APPROACH_NAMES",
+    "register_approach",
+    "resolve_approach",
+    "resolve_approaches",
+    "approach_names",
 ]
 
 #: Tiny OS-level noise floor applied to every visible time (log-normal sigma).
@@ -60,7 +83,7 @@ class IterationResult:
 
 
 class IOApproach:
-    """Common interface of the three strategies."""
+    """Common interface of the I/O strategies."""
 
     name: str = "?"
 
@@ -93,22 +116,12 @@ class FilePerProcess(IOApproach):
         order = rng.permutation(ranks)
         create_done = (order + 1) / machine.metadata_rate
         osts = rng.permutation(ranks) % machine.ost_count
-        requests = [
-            WriteRequest(
-                arrival=float(create_done[i]),
-                ost=int(osts[i]),
-                nbytes=float(data_per_rank),
-                tag=i,
-            )
-            for i in range(ranks)
-        ]
-        done = simulate_writes(
-            machine, requests, background=background, large_writes=False
-        )
-        visible = np.array([done[i] for i in range(ranks)]) * self._jitter(rng, ranks)
+        batch = RequestBatch(arrival=create_done, ost=osts, nbytes=data_per_rank)
+        done = solve(machine, batch, background=background, large_writes=False)
+        visible = done * self._jitter(rng, ranks)
         return IterationResult(
             visible_times=visible,
-            backend_wall_s=float(max(done.values())),
+            backend_wall_s=float(done.max()),
             backend_busy_s=0.0,
             bytes_written=float(ranks) * data_per_rank,
             files_created=ranks,
@@ -170,14 +183,8 @@ class DedicatedCores(IOApproach):
         node_bytes = self.node_bytes(machine, ranks, data_per_rank)
         background = interference.sample_background(machine, rng)
         osts = rng.permutation(nodes) % machine.ost_count
-        requests = [
-            WriteRequest(arrival=0.0, ost=int(osts[i]), nbytes=node_bytes, tag=i)
-            for i in range(nodes)
-        ]
-        done = simulate_writes(
-            machine, requests, background=background, large_writes=True
-        )
-        durations = np.array([done[i] for i in range(nodes)])
+        batch = RequestBatch(arrival=0.0, ost=osts, nbytes=node_bytes)
+        durations = solve(machine, batch, background=background, large_writes=True)
         return IterationResult(
             visible_times=visible,
             backend_wall_s=float(durations.max()),
@@ -187,4 +194,122 @@ class DedicatedCores(IOApproach):
         )
 
 
-APPROACHES: tuple[IOApproach, ...] = (FilePerProcess(), Collective(), DedicatedCores())
+class DedicatedNodes(IOApproach):
+    """Whole nodes dedicated to I/O, fed over the interconnect.
+
+    One forwarder node serves ``group`` compute nodes.  All cores of a
+    compute node run simulation code; at the end of an iteration the group
+    pushes its data across the network into the forwarder, whose NIC is
+    the shared bottleneck, so the visible cost is the group's data divided
+    by the NIC bandwidth.  The forwarder then writes its aggregated data
+    asynchronously as one file striped over ``stripes`` OSTs — far fewer,
+    far larger streams than dedicated cores, at the price of whole nodes
+    lost to the simulation and a network hop in the visible path.
+    """
+
+    name = "dedicated-nodes"
+
+    def __init__(self, group: int = 16, stripes: int = 16):
+        if group < 1:
+            raise ValueError(f"forwarding group must be >= 1, got {group}")
+        if stripes < 1:
+            raise ValueError(f"stripe count must be >= 1, got {stripes}")
+        self.group = group
+        self.stripes = stripes
+
+    def forwarders(self, machine: Machine, ranks: int) -> int:
+        """Number of whole nodes dedicated to I/O (ceil of nodes per group)."""
+        nodes = machine.nodes_for(ranks)
+        forwarders = -(-nodes // (self.group + 1))
+        if nodes - forwarders < 1:
+            raise ValueError(
+                f"dedicating {forwarders} of {nodes} nodes leaves no compute "
+                f"nodes (ranks={ranks}); the approach needs at least "
+                f"{machine.cores_per_node * 2} ranks"
+            )
+        return forwarders
+
+    def clients(self, machine, ranks):
+        clients = ranks - self.forwarders(machine, ranks) * machine.cores_per_node
+        if clients < 1:
+            raise ValueError(f"dedicating whole nodes leaves no compute ranks (ranks={ranks})")
+        return clients
+
+    def group_bytes(self, machine, ranks, data_per_rank):
+        """Bytes one forwarder ingests from its compute-node group."""
+        forwarders = self.forwarders(machine, ranks)
+        return (self.clients(machine, ranks) / forwarders) * data_per_rank
+
+    def run_iteration(self, machine, ranks, data_per_rank, rng, interference=NO_INTERFERENCE):
+        forwarders = self.forwarders(machine, ranks)
+        clients = self.clients(machine, ranks)
+        group_bytes = self.group_bytes(machine, ranks, data_per_rank)
+        # Visible cost: the group's data draining through the forwarder's
+        # NIC.  Scale-independent (fixed group size), file-system
+        # independent, but slower than a node-local memory copy.
+        drain = group_bytes / machine.nic_bandwidth
+        visible = drain * self._jitter(rng, clients)
+        # Backend: each forwarder writes its group's data as one file
+        # striped over a handful of OSTs, overlapped with the next compute
+        # phase — few very large sequential streams.
+        stripes = min(self.stripes, machine.ost_count)
+        background = interference.sample_background(machine, rng)
+        osts = rng.permutation(forwarders * stripes) % machine.ost_count
+        batch = RequestBatch(arrival=0.0, ost=osts, nbytes=group_bytes / stripes)
+        durations = solve(machine, batch, background=background, large_writes=True)
+        per_forwarder = durations.reshape(forwarders, stripes).max(axis=1)
+        return IterationResult(
+            visible_times=visible,
+            backend_wall_s=float(durations.max()),
+            backend_busy_s=float(drain + per_forwarder.mean()),
+            bytes_written=group_bytes * forwarders,
+            files_created=forwarders,
+        )
+
+
+_APPROACHES: dict[str, IOApproach] = {}
+
+
+def register_approach(approach: IOApproach, *, replace_existing: bool = False) -> IOApproach:
+    """Register ``approach`` under its name; returns it."""
+    key = approach.name.lower()
+    if not replace_existing and key in _APPROACHES:
+        raise ValueError(f"approach {approach.name!r} is already registered")
+    _APPROACHES[key] = approach
+    return approach
+
+
+def approach_names() -> tuple[str, ...]:
+    """The registered approach names, sorted."""
+    return tuple(sorted(_APPROACHES))
+
+
+def resolve_approach(approach: IOApproach | str) -> IOApproach:
+    """Accept either an :class:`IOApproach` or a registered name."""
+    if isinstance(approach, IOApproach):
+        return approach
+    try:
+        return _APPROACHES[approach.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown approach {approach!r}; known: {sorted(_APPROACHES)}"
+        ) from None
+
+
+def resolve_approaches(
+    approaches: tuple[IOApproach | str, ...] | list[IOApproach | str] | None,
+) -> tuple[IOApproach, ...]:
+    """Resolve a selection of approaches; ``None`` means the paper's three."""
+    if approaches is None:
+        approaches = DEFAULT_APPROACH_NAMES
+    return tuple(resolve_approach(a) for a in approaches)
+
+
+for _approach in (FilePerProcess(), Collective(), DedicatedCores(), DedicatedNodes()):
+    register_approach(_approach)
+
+#: The paper's original comparison set, in presentation order.
+DEFAULT_APPROACH_NAMES: tuple[str, ...] = ("file-per-process", "collective", "damaris")
+
+#: Backwards-compatible tuple of the paper's three approaches.
+APPROACHES: tuple[IOApproach, ...] = resolve_approaches(None)

@@ -1,0 +1,102 @@
+"""Frozen scenario configuration shared by benchmarks and the CLI.
+
+A :class:`ScenarioConfig` pins everything a reproduction run depends on —
+machine, weak-scaling ladder, interference model, data volume per rank,
+seed, engine backend, and sweep parallelism — in one immutable object.
+``benchmarks/_common.py`` folds its environment parsing into
+:meth:`ScenarioConfig.from_env`, and ``python -m repro`` builds one from
+command-line flags, so both front ends drive the experiment runners with
+the same vocabulary.
+
+Environment variables recognised by :meth:`ScenarioConfig.from_env`:
+
+========================  =====================================================
+``REPRO_FULL_SCALE``      add the paper's 9216-rank points (``1``/``true``)
+``REPRO_MACHINE``         registered machine name (default ``kraken``)
+``REPRO_LADDER``          comma-separated rank ladder override
+``REPRO_DATA_PER_RANK_MB``  payload per rank in MiB (default 45)
+``REPRO_SEED``            base seed (default 0)
+``REPRO_ENGINE``          engine backend (``vectorized``/``reference``)
+``REPRO_JOBS``            process-pool width for sweeps (default 1)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, field, replace
+
+from .engine import Interference, Machine, backend_names, resolve_machine
+from .util import MB
+
+__all__ = ["ScenarioConfig", "DEFAULT_LADDER", "FULL_SCALE_RANKS"]
+
+#: The laptop-friendly weak-scaling ladder (preserves every qualitative shape).
+DEFAULT_LADDER: tuple[int, ...] = (576, 1152, 2304)
+#: The paper's largest Kraken configuration.
+FULL_SCALE_RANKS = 9216
+
+_TRUTHY_OFF = ("0", "", "false", "no")
+
+
+def _env_flag(env: Mapping[str, str], name: str) -> bool:
+    return env.get(name, "0").lower() not in _TRUTHY_OFF
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything one reproduction run depends on, frozen."""
+
+    machine: Machine = field(default_factory=lambda: resolve_machine("kraken"))
+    ladder: tuple[int, ...] = DEFAULT_LADDER
+    interference: Interference = field(default_factory=Interference)
+    data_per_rank: float = 45 * MB
+    seed: int = 0
+    full_scale: bool = False
+    #: Engine backend name, or ``None`` for the process-wide default.
+    backend: str | None = None
+    #: Process-pool width for (scale, approach) sweeps; 1 = in-process.
+    jobs: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "machine", resolve_machine(self.machine))
+        object.__setattr__(self, "ladder", tuple(int(r) for r in self.ladder))
+        if self.backend is not None:
+            # Match the engine registry's case-insensitive resolution.
+            object.__setattr__(self, "backend", self.backend.lower())
+            if self.backend not in backend_names():
+                raise ValueError(
+                    f"unknown engine backend {self.backend!r}; known: {backend_names()}"
+                )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def with_overrides(self, **overrides: object) -> ScenarioConfig:
+        """A copy of this scenario with some fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    @property
+    def top_ranks(self) -> int:
+        """The largest rung of the ladder (single-scale experiments use it)."""
+        return max(self.ladder)
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> ScenarioConfig:
+        """Build a scenario from ``REPRO_*`` environment variables."""
+        if env is None:
+            env = os.environ
+        full_scale = _env_flag(env, "REPRO_FULL_SCALE")
+        if "REPRO_LADDER" in env and env["REPRO_LADDER"].strip():
+            ladder = tuple(int(part) for part in env["REPRO_LADDER"].split(",") if part.strip())
+        else:
+            ladder = DEFAULT_LADDER + ((FULL_SCALE_RANKS,) if full_scale else ())
+        return cls(
+            machine=resolve_machine(env.get("REPRO_MACHINE", "kraken")),
+            ladder=ladder,
+            data_per_rank=float(env.get("REPRO_DATA_PER_RANK_MB", "45")) * MB,
+            seed=int(env.get("REPRO_SEED", "0")),
+            full_scale=full_scale,
+            backend=env.get("REPRO_ENGINE") or None,
+            jobs=int(env.get("REPRO_JOBS", "1")),
+        )

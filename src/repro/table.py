@@ -12,10 +12,21 @@ erroring (e.g. the raw-writer row of the compression experiment has no
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from collections.abc import Iterable, Iterator
 from typing import Any
 
 __all__ = ["Row", "Table"]
+
+
+def _plain(value: Any) -> Any:
+    """A json/csv-friendly form of a cell (numpy scalars -> Python scalars)."""
+    item = getattr(value, "item", None)
+    if item is not None and not isinstance(value, (int, float, str, bool)):
+        return item()
+    return value
 
 
 class Row:
@@ -69,9 +80,7 @@ class Table:
     """An ordered collection of :class:`Row` with query helpers."""
 
     def __init__(self, rows: Iterable[dict[str, Any] | Row] = ()):
-        self._rows: list[Row] = [
-            r if isinstance(r, Row) else Row(r) for r in rows
-        ]
+        self._rows: list[Row] = [r if isinstance(r, Row) else Row(r) for r in rows]
 
     # -- construction -----------------------------------------------------
     def append(self, row: dict[str, Any] | Row | None = None, **fields: Any) -> None:
@@ -135,9 +144,7 @@ class Table:
             raise ValueError("sort_by needs at least one column name")
 
         def sort_key(row: Row):
-            return tuple(
-                (0, row[k]) if k in row else (1,) for k in keys
-            )
+            return tuple((0, row[k]) if k in row else (1,) for k in keys)
 
         return Table(sorted(self._rows, key=sort_key, reverse=reverse))
 
@@ -174,6 +181,24 @@ class Table:
         lines = [fmt_line(list(cols)), fmt_line(["-" * w for w in widths])]
         lines.extend(fmt_line(line) for line in cells)
         return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV text; missing cells render as empty fields."""
+        cols = self.columns()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(cols)
+        for row in self._rows:
+            writer.writerow(["" if c not in row else _plain(row[c]) for c in cols])
+        return buffer.getvalue()
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The table as a JSON array of row objects (sparse rows stay sparse)."""
+        rows = [
+            {key: _plain(value) for key, value in row.as_dict().items()}
+            for row in self._rows
+        ]
+        return json.dumps(rows, indent=indent)
 
     def __repr__(self) -> str:
         return f"Table({len(self._rows)} rows x {len(self.columns())} cols)"

@@ -1,0 +1,92 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import default_backend, set_default_backend
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine_backend():
+    """``run --backend`` sets the process-wide default; undo it per test."""
+    previous = default_backend()
+    yield
+    set_default_backend(previous)
+
+
+def test_machines_lists_registry(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    for name in ("kraken", "grid5000", "exascale"):
+        assert name in out
+
+
+def test_approaches_lists_registry(capsys):
+    assert main(["approaches"]) == 0
+    out = capsys.readouterr().out
+    for name in ("file-per-process", "collective", "damaris", "dedicated-nodes"):
+        assert name in out
+
+
+def test_run_e3_text(capsys):
+    assert main(["run", "e3", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "damaris" in out
+    assert "throughput_gb_s" in out
+
+
+def test_run_e3_csv_parses(capsys):
+    assert main(["run", "e3", "--format", "csv"]) == 0
+    out = capsys.readouterr().out
+    rows = list(csv.DictReader(io.StringIO(out)))
+    assert {row["approach"] for row in rows} == {
+        "file-per-process",
+        "collective",
+        "damaris",
+    }
+    assert all(float(row["throughput_gb_s"]) > 0 for row in rows)
+
+
+def test_run_e1_json_small_ladder(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LADDER", "192,384")
+    assert main(["run", "e1", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {row["ranks"] for row in rows} == {192, 384}
+    assert all(isinstance(row["io_phase_mean_s"], float) for row in rows)
+
+
+def test_run_e7_prints_both_tables(capsys):
+    assert main(["run", "e7"]) == 0
+    out = capsys.readouterr().out
+    assert "# insitu_scaling" in out
+    assert "# insitu_backpressure" in out
+
+
+def test_run_e8_writes_artifacts(capsys, tmp_path):
+    assert main(["run", "e8", "--output-dir", str(tmp_path), "--check"]) == 0
+    assert (tmp_path / "cm1_damaris.py").exists()
+    assert (tmp_path / "cm1.xml").exists()
+
+
+def test_run_with_machine_and_backend(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LADDER", "192")
+    assert main(["run", "e2", "--machine", "kraken", "--backend", "reference"]) == 0
+    assert "damaris" in capsys.readouterr().out
+
+
+def test_run_seed_changes_output(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LADDER", "192")
+    main(["run", "e2", "--seed", "1"])
+    first = capsys.readouterr().out
+    main(["run", "e2", "--seed", "2"])
+    second = capsys.readouterr().out
+    assert first != second
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "e99"])

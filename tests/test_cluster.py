@@ -72,12 +72,8 @@ def test_single_stream_runs_at_full_bandwidth():
 
 
 def test_sharing_an_ost_is_slower_than_spreading():
-    reqs_shared = [
-        WriteRequest(arrival=0.0, ost=0, nbytes=90 * MB, tag=i) for i in range(4)
-    ]
-    reqs_spread = [
-        WriteRequest(arrival=0.0, ost=i, nbytes=90 * MB, tag=i) for i in range(4)
-    ]
+    reqs_shared = [WriteRequest(arrival=0.0, ost=0, nbytes=90 * MB, tag=i) for i in range(4)]
+    reqs_spread = [WriteRequest(arrival=0.0, ost=i, nbytes=90 * MB, tag=i) for i in range(4)]
     shared = simulate_writes(KRAKEN, reqs_shared, large_writes=True)
     spread = simulate_writes(KRAKEN, reqs_spread, large_writes=True)
     assert max(shared.values()) > max(spread.values())

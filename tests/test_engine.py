@@ -1,0 +1,163 @@
+"""Cross-validation of the engine backends plus pinned headline values.
+
+The vectorized backend must reproduce the reference backend's completion
+times on every workload shape the I/O models generate (simultaneous
+flushes, staggered create storms, mixed sizes, background interference),
+and the experiment tables built on top must keep the paper's headline
+orderings bit-for-bit across the refactor (golden seed 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    KRAKEN,
+    RequestBatch,
+    WriteRequest,
+    backend_names,
+    default_backend,
+    simulate_writes,
+    solve,
+    use_backend,
+)
+from repro.experiments import run_throughput, run_weak_scaling
+from repro.io_models import APPROACHES
+from repro.util import MB
+
+
+def _both(batch, *, background=None, large_writes):
+    vec = solve(
+        KRAKEN, batch, background=background, large_writes=large_writes, backend="vectorized"
+    )
+    ref = solve(
+        KRAKEN, batch, background=background, large_writes=large_writes, backend="reference"
+    )
+    return vec, ref
+
+
+def _assert_backends_agree(batch, *, background=None, large_writes):
+    vec, ref = _both(batch, background=background, large_writes=large_writes)
+    np.testing.assert_allclose(vec, ref, rtol=1e-9, atol=1e-6)
+
+
+# -- backend plumbing -----------------------------------------------------
+
+
+def test_backend_registry():
+    assert set(backend_names()) >= {"vectorized", "reference"}
+    assert default_backend() == "vectorized"
+
+
+def test_use_backend_restores_default():
+    with use_backend("reference"):
+        assert default_backend() == "reference"
+    assert default_backend() == "vectorized"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        solve(KRAKEN, RequestBatch(0.0, 0, MB), large_writes=True, backend="gpu")
+
+
+def test_empty_batch():
+    for backend in ("vectorized", "reference"):
+        done = solve(KRAKEN, RequestBatch.from_requests([]), large_writes=True, backend=backend)
+        assert done.size == 0
+
+
+def test_duplicate_tags_are_solved_per_position():
+    # solve() is positional; caller tags need not be unique.
+    batch = RequestBatch(0.0, [0, 0], [10 * MB, 20 * MB], tag=[5, 5])
+    _assert_backends_agree(batch, large_writes=True)
+
+
+def test_simulate_writes_dict_wrapper_matches_batch_order():
+    reqs = [
+        WriteRequest(arrival=0.0, ost=3, nbytes=45 * MB, tag=11),
+        WriteRequest(arrival=1.0, ost=3, nbytes=45 * MB, tag=7),
+    ]
+    done = simulate_writes(KRAKEN, reqs, large_writes=True)
+    assert set(done) == {11, 7}
+    assert done[11] < done[7]
+
+
+# -- golden-seed equivalence across workload shapes -----------------------
+
+
+def _random_batch(rng, n, *, staggered, equal_sizes):
+    arrival = np.sort(rng.uniform(0.0, 30.0, n)) if staggered else np.zeros(n)
+    ost = rng.integers(0, KRAKEN.ost_count, n)
+    nbytes = np.full(n, 45.0 * MB) if equal_sizes else rng.uniform(MB, 90 * MB, n)
+    return RequestBatch(arrival, ost, nbytes)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n", [1, 7, 200, 1500])
+@pytest.mark.parametrize("staggered", [False, True])
+@pytest.mark.parametrize("equal_sizes", [False, True])
+def test_backends_agree_on_random_workloads(seed, n, staggered, equal_sizes):
+    rng = np.random.default_rng([seed, n, staggered, equal_sizes])
+    batch = _random_batch(rng, n, staggered=staggered, equal_sizes=equal_sizes)
+    background = rng.poisson(1.2, KRAKEN.ost_count).astype(float)
+    for bg in (None, background):
+        for large in (False, True):
+            _assert_backends_agree(batch, background=bg, large_writes=large)
+
+
+def test_backends_agree_on_every_approach_iteration():
+    """Medium workload end-to-end: each approach's visible & backend times."""
+    for approach in APPROACHES:
+        results = {}
+        for backend in ("vectorized", "reference"):
+            with use_backend(backend):
+                rng = np.random.default_rng(42)
+                results[backend] = approach.run_iteration(KRAKEN, 1152, 45 * MB, rng)
+        vec, ref = results["vectorized"], results["reference"]
+        np.testing.assert_allclose(vec.visible_times, ref.visible_times, rtol=1e-9, atol=1e-9)
+        assert vec.backend_wall_s == pytest.approx(ref.backend_wall_s, rel=1e-9)
+        assert vec.backend_busy_s == pytest.approx(ref.backend_busy_s, rel=1e-9)
+
+
+# -- pinned headline values (golden seed 0, default ladder) ----------------
+
+
+def test_e1_headline_pinned():
+    table = run_weak_scaling(scales=[576, 1152, 2304], iterations=2)
+    top = {row["approach"]: row for row in table.where(ranks=2304)}
+    # Orderings the paper's figure hinges on.
+    assert (
+        top["damaris"]["io_phase_mean_s"]
+        < top["file-per-process"]["io_phase_mean_s"]
+        < top["collective"]["io_phase_mean_s"]
+    )
+    assert (
+        top["damaris"]["speedup_vs_collective"]
+        > top["file-per-process"]["speedup_vs_collective"]
+        > 1.0
+    )
+    # Pinned values guarding the refactor (golden seed 0).
+    assert top["damaris"]["io_phase_mean_s"] == pytest.approx(0.081117, rel=1e-3)
+    assert top["damaris"]["speedup_vs_collective"] == pytest.approx(1.682624, rel=1e-3)
+    assert top["collective"]["io_phase_mean_s"] == pytest.approx(204.923742, rel=1e-3)
+
+
+def test_e3_headline_pinned():
+    table = run_throughput(ranks=2304, iterations=2)
+    by_name = {row["approach"]: row["throughput_gb_s"] for row in table}
+    assert by_name["collective"] < by_name["file-per-process"] < by_name["damaris"]
+    assert by_name["collective"] == pytest.approx(0.548336, rel=1e-3)
+    assert by_name["file-per-process"] == pytest.approx(1.675572, rel=1e-3)
+    assert by_name["damaris"] == pytest.approx(16.875, rel=1e-3)
+
+
+def test_experiment_tables_identical_across_backends():
+    kwargs = {"ranks": 1152, "iterations": 2, "seed": 5}
+    with use_backend("vectorized"):
+        vec = run_throughput(**kwargs)
+    with use_backend("reference"):
+        ref = run_throughput(**kwargs)
+    for vrow, rrow in zip(vec, ref):
+        for key in vrow.keys():
+            assert vrow[key] == pytest.approx(rrow[key], rel=1e-9), key

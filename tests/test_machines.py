@@ -1,0 +1,68 @@
+"""Unit tests for the machine registry and the shipped platforms."""
+
+import pytest
+
+from repro.engine import (
+    EXASCALE,
+    GRID5000,
+    KRAKEN,
+    Machine,
+    machine_names,
+    register_machine,
+    resolve_machine,
+)
+from repro.experiments import run_throughput
+from repro.util import GB, MB
+
+
+def test_shipped_machines_registered():
+    assert {"kraken", "grid5000", "exascale"} <= set(machine_names())
+    assert resolve_machine("grid5000") is GRID5000
+    assert resolve_machine("EXASCALE") is EXASCALE
+
+
+def test_machines_have_distinct_shapes():
+    assert GRID5000.cores_per_node < KRAKEN.cores_per_node < EXASCALE.cores_per_node
+    assert GRID5000.peak_bandwidth < KRAKEN.peak_bandwidth < EXASCALE.peak_bandwidth
+
+
+def test_register_machine_rejects_duplicates():
+    with pytest.raises(ValueError):
+        register_machine(KRAKEN.with_overrides())
+    # Same name via a modified copy is also rejected without replace_existing.
+    with pytest.raises(ValueError):
+        register_machine(KRAKEN.with_overrides(ost_count=1))
+
+
+def test_register_custom_machine_resolves_by_name():
+    toy = Machine(
+        name="toy-cluster",
+        cores_per_node=4,
+        ost_count=8,
+        ost_bandwidth=50 * MB,
+        shm_bandwidth=1 * GB,
+        metadata_rate=100.0,
+        collective_bandwidth=0.2 * GB,
+    )
+    try:
+        register_machine(toy)
+        assert resolve_machine("toy-cluster") is toy
+        register_machine(toy.with_overrides(ost_count=16), replace_existing=True)
+        assert resolve_machine("toy-cluster").ost_count == 16
+    finally:
+        from repro.engine.machines import _MACHINES
+
+        _MACHINES.pop("toy-cluster", None)
+
+
+def test_experiments_run_on_alternate_machines():
+    """New platforms are one string away for any experiment runner."""
+    for machine in ("grid5000", "exascale"):
+        table = run_throughput(ranks=192, machine=machine, iterations=1)
+        assert len(table) == 3
+        assert all(row["throughput_gb_s"] > 0 for row in table)
+
+
+def test_machine_has_nic_bandwidth():
+    assert KRAKEN.nic_bandwidth > 0
+    assert EXASCALE.nic_bandwidth > KRAKEN.nic_bandwidth

@@ -1,0 +1,66 @@
+"""Perf guard: the vectorized backend must not be slower than the reference.
+
+The guard replays the most demanding default-ladder workload — a
+2304-rank file-per-process create storm plus a dedicated-core flush —
+through both backends and fails if the vectorized solver loses.  The
+expected gap is ≥5x (the engine refactor's acceptance criterion at the
+9216-rank full scale), so asserting "not slower" leaves generous margin
+for noisy CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine import KRAKEN, RequestBatch, solve
+from repro.util import MB
+
+RANKS = 2304
+
+
+def _workloads():
+    rng = np.random.default_rng(0)
+    create_storm = RequestBatch(
+        arrival=np.sort(rng.uniform(0.0, RANKS / KRAKEN.metadata_rate, RANKS)),
+        ost=rng.permutation(RANKS) % KRAKEN.ost_count,
+        nbytes=45 * MB,
+    )
+    nodes = KRAKEN.nodes_for(RANKS)
+    flush = RequestBatch(
+        arrival=0.0,
+        ost=rng.permutation(nodes) % KRAKEN.ost_count,
+        nbytes=11 * 45 * MB,
+    )
+    background = rng.poisson(1.2, KRAKEN.ost_count).astype(float)
+    return [(create_storm, False), (flush, True)], background
+
+
+def _time_backend(backend: str, workloads, background, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for batch, large_writes in workloads:
+            solve(
+                KRAKEN,
+                batch,
+                background=background,
+                large_writes=large_writes,
+                backend=backend,
+            )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_not_slower_than_reference():
+    workloads, background = _workloads()
+    # Warm both paths (allocator, lazy imports) before timing.
+    _time_backend("vectorized", workloads, background, repeats=1)
+    _time_backend("reference", workloads, background, repeats=1)
+    vec = _time_backend("vectorized", workloads, background)
+    ref = _time_backend("reference", workloads, background)
+    assert vec <= ref, (
+        f"vectorized backend ({vec * 1000:.1f} ms) slower than "
+        f"reference ({ref * 1000:.1f} ms) on the {RANKS}-rank workload"
+    )

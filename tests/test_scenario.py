@@ -1,0 +1,107 @@
+"""Unit tests for the frozen ScenarioConfig and its env parsing."""
+
+import dataclasses
+
+import pytest
+
+from repro.engine import GRID5000, KRAKEN
+from repro.scenario import DEFAULT_LADDER, FULL_SCALE_RANKS, ScenarioConfig
+from repro.util import MB
+
+
+def test_defaults():
+    sc = ScenarioConfig()
+    assert sc.machine is KRAKEN
+    assert sc.ladder == DEFAULT_LADDER
+    assert sc.data_per_rank == 45 * MB
+    assert sc.seed == 0
+    assert not sc.full_scale
+    assert sc.jobs == 1
+
+
+def test_frozen():
+    sc = ScenarioConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        sc.seed = 1  # type: ignore[misc]
+
+
+def test_machine_name_resolves_in_post_init():
+    sc = ScenarioConfig(machine="grid5000")
+    assert sc.machine is GRID5000
+
+
+def test_from_env_defaults():
+    sc = ScenarioConfig.from_env({})
+    assert sc == ScenarioConfig()
+
+
+def test_from_env_full_scale_appends_paper_point():
+    sc = ScenarioConfig.from_env({"REPRO_FULL_SCALE": "1"})
+    assert sc.full_scale
+    assert sc.ladder == DEFAULT_LADDER + (FULL_SCALE_RANKS,)
+    off = ScenarioConfig.from_env({"REPRO_FULL_SCALE": "false"})
+    assert not off.full_scale
+
+
+def test_from_env_overrides():
+    sc = ScenarioConfig.from_env(
+        {
+            "REPRO_MACHINE": "grid5000",
+            "REPRO_LADDER": "64,128, 256",
+            "REPRO_DATA_PER_RANK_MB": "10",
+            "REPRO_SEED": "7",
+            "REPRO_ENGINE": "reference",
+            "REPRO_JOBS": "4",
+        }
+    )
+    assert sc.machine is GRID5000
+    assert sc.ladder == (64, 128, 256)
+    assert sc.data_per_rank == 10 * MB
+    assert sc.seed == 7
+    assert sc.backend == "reference"
+    assert sc.jobs == 4
+
+
+def test_ladder_override_beats_full_scale():
+    sc = ScenarioConfig.from_env({"REPRO_FULL_SCALE": "1", "REPRO_LADDER": "576"})
+    assert sc.ladder == (576,)
+    assert sc.top_ranks == 576
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError):
+        ScenarioConfig(backend="gpu")
+
+
+def test_backend_name_case_insensitive():
+    # The engine registry lowercases names; the scenario must accept the
+    # same spellings (REPRO_ENGINE=Reference) instead of rejecting them.
+    sc = ScenarioConfig.from_env({"REPRO_ENGINE": "Reference"})
+    assert sc.backend == "reference"
+
+
+def test_scenario_interference_reaches_the_runners():
+    from repro.engine import Interference
+    from repro.experiments import run_variability
+
+    quiet = run_variability(ranks=192, iterations=2, seed=1)
+    heavy = run_variability(
+        ranks=192,
+        iterations=2,
+        seed=1,
+        interference=Interference(background_streams=30.0, burst_probability=0.9),
+    )
+    fpp_quiet = quiet.where(approach="file-per-process")[0]
+    fpp_heavy = heavy.where(approach="file-per-process")[0]
+    assert fpp_heavy["io_mean_s"] > fpp_quiet["io_mean_s"]
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        ScenarioConfig(jobs=0)
+
+
+def test_with_overrides():
+    sc = ScenarioConfig().with_overrides(seed=3, machine="grid5000")
+    assert sc.seed == 3
+    assert sc.machine is GRID5000

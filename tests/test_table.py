@@ -1,5 +1,10 @@
 """Unit tests for the Table result container."""
 
+import csv
+import io
+import json
+
+import numpy as np
 import pytest
 
 from repro.table import Row, Table
@@ -116,3 +121,36 @@ def test_empty_table():
     assert not table
     assert table.to_text() == "(empty table)"
     assert table.column("x") == []
+
+
+def test_to_csv_roundtrip(table):
+    rows = list(csv.DictReader(io.StringIO(table.to_csv())))
+    assert len(rows) == 4
+    assert rows[0] == {"approach": "collective", "ranks": "1152", "io_s": "94.0"}
+
+
+def test_to_csv_blank_for_missing_cells():
+    table = Table([{"writer": "raw", "bytes": 10}, {"writer": "zlib", "ratio": 5.5}])
+    lines = table.to_csv().splitlines()
+    assert lines[0] == "writer,bytes,ratio"
+    assert lines[1] == "raw,10,"
+    assert lines[2] == "zlib,,5.5"
+
+
+def test_to_json_sparse_rows_stay_sparse():
+    table = Table([{"a": 1}, {"b": 2.5}])
+    rows = json.loads(table.to_json())
+    assert rows == [{"a": 1}, {"b": 2.5}]
+
+
+def test_serializers_accept_numpy_scalars():
+    table = Table([{"x": np.float64(1.5), "n": np.int64(3), "flag": np.bool_(True)}])
+    rows = json.loads(table.to_json())
+    assert rows == [{"x": 1.5, "n": 3, "flag": True}]
+    parsed = list(csv.DictReader(io.StringIO(table.to_csv())))
+    assert parsed[0]["x"] == "1.5"
+
+
+def test_to_json_indent():
+    table = Table([{"a": 1}])
+    assert "\n" in table.to_json(indent=2)
