@@ -9,10 +9,14 @@ post-processes and writes it asynchronously.  The layers, bottom up:
   vectorized/reference processor-sharing OST solvers.
 * :mod:`repro.io_models` — the I/O approaches (file-per-process,
   collective, damaris, dedicated-nodes) and their registry.
+* :mod:`repro.workloads` — arrival-process generators (periodic,
+  jittered, poisson, burst), the frozen :class:`Workload` spec, JSONL
+  trace record/replay, and the multi-application composer.
 * :mod:`repro.scenario` — the frozen :class:`ScenarioConfig` that pins a
   run's machine, ladder, interference, data volume and seed.
-* :mod:`repro.experiments` — one runner per paper experiment (E1-E8),
-  swept serially or across a process pool.
+* :mod:`repro.experiments` — one runner per experiment (the paper's
+  E1-E8 plus the cross-application interference sweep E9), swept
+  serially or across a process pool.
 
 ``python -m repro run e1 --machine kraken --full-scale`` drives any
 experiment from the command line.
@@ -42,8 +46,15 @@ from .io_models import (
 )
 from .scenario import ScenarioConfig
 from .table import Row, Table
+from .workloads import (
+    Trace,
+    Workload,
+    arrival_process_names,
+    register_arrival_process,
+    resolve_arrival_process,
+)
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "Machine",
@@ -67,5 +78,10 @@ __all__ = [
     "register_approach",
     "resolve_approach",
     "approach_names",
+    "Workload",
+    "Trace",
+    "register_arrival_process",
+    "resolve_arrival_process",
+    "arrival_process_names",
     "__version__",
 ]

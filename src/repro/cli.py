@@ -5,8 +5,10 @@ Examples::
     python -m repro run e1 --machine kraken --full-scale --format csv
     python -m repro run e3 --backend reference --seed 7
     python -m repro run e6 --format json
+    python -m repro run e9 --workload "app=bg,ranks=1152,arrival=burst" --trace traces/
     python -m repro machines
     python -m repro approaches
+    python -m repro workloads
 
 ``run`` builds a :class:`~repro.scenario.ScenarioConfig` from the flags
 (environment variables fill whatever the flags leave out), executes the
@@ -32,6 +34,7 @@ from .engine import (
 from .io_models import approach_names, resolve_approach
 from .scenario import FULL_SCALE_RANKS, ScenarioConfig
 from .table import Table
+from .workloads import arrival_process_names, resolve_arrival_process
 
 __all__ = ["main"]
 
@@ -121,6 +124,21 @@ def _e8(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
     return {"usability": experiments.run_usability(output_dir=output_dir)}
 
 
+def _e9(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+    ranks = 2304 if sc.full_scale else 1152
+    table = experiments.run_app_interference(
+        ranks=ranks,
+        data_per_rank=sc.data_per_rank,
+        compute_time=120.0,
+        machine=sc.machine,
+        seed=sc.seed,
+        background=sc.workload,
+        n_jobs=sc.jobs,
+        trace_dir=sc.trace,
+    )
+    return {"app_interference": table}
+
+
 _CHECKS: dict[str, Callable[[Table], None]] = {
     "weak_scaling": experiments.check_scaling_shape,
     "variability": experiments.check_variability_shape,
@@ -130,6 +148,7 @@ _CHECKS: dict[str, Callable[[Table], None]] = {
     "scheduling": experiments.check_scheduling_shape,
     "insitu_scaling": experiments.check_insitu_shape,
     "usability": experiments.check_usability_shape,
+    "app_interference": experiments.check_app_interference_shape,
 }
 
 _EXPERIMENTS: dict[str, Callable[[ScenarioConfig, str], dict[str, Table]]] = {
@@ -141,6 +160,7 @@ _EXPERIMENTS: dict[str, Callable[[ScenarioConfig, str], dict[str, Table]]] = {
     "e6": _e6,
     "e7": _e7,
     "e8": _e8,
+    "e9": _e9,
 }
 
 
@@ -165,10 +185,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--output-dir", default=None, help="artifact directory for e5/e8 (default: temp)"
     )
+    run.add_argument(
+        "--workload",
+        default=None,
+        metavar="SPEC",
+        help="background workload for e9 (app=bg,ranks=1152,data_mb=45,arrival=burst,...)",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="directory e9 records per-cell request traces into (JSONL)",
+    )
     run.add_argument("--check", action="store_true", help="also apply the experiment's shape check")
 
     sub.add_parser("machines", help="list registered machines")
     sub.add_parser("approaches", help="list registered I/O approaches")
+    sub.add_parser("workloads", help="list registered arrival processes + workload spec syntax")
     return parser
 
 
@@ -186,6 +219,10 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         env["REPRO_ENGINE"] = args.backend
     if args.jobs is not None:
         env["REPRO_JOBS"] = str(args.jobs)
+    if args.workload is not None:
+        env["REPRO_WORKLOAD"] = args.workload
+    if args.trace is not None:
+        env["REPRO_TRACE"] = args.trace
     return ScenarioConfig.from_env(env)
 
 
@@ -217,6 +254,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             doc = (type(resolve_approach(name)).__doc__ or "").strip().splitlines()
             summary = doc[0] if doc else ""
             print(f"{name}: {summary}" if summary else name)
+        return 0
+    if args.command == "workloads":
+        print("arrival processes:")
+        for name in arrival_process_names():
+            doc = (type(resolve_arrival_process(name)).__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"  {name}: {summary}" if summary else f"  {name}")
+        print()
+        print("workload spec (REPRO_WORKLOAD / --workload):")
+        print("  app=background,ranks=1152,data_mb=45,arrival=burst,approach=file-per-process")
         return 0
 
     scenario = _scenario_from_args(args)

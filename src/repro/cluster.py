@@ -3,12 +3,21 @@
 The cluster model moved into the :mod:`repro.engine` package (machine
 registry, interference model, and the vectorized/reference OST solvers).
 This module remains so seed-era imports keep working; new code should
-import from :mod:`repro.engine` directly.
+import from :mod:`repro.engine` directly.  Importing it emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from .engine import (
+import warnings
+
+warnings.warn(
+    "repro.cluster is deprecated; import from repro.engine instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .engine import (  # noqa: E402
     EXASCALE,
     GRID5000,
     KRAKEN,

@@ -33,7 +33,7 @@ from .machines import (
     register_machine,
     resolve_machine,
 )
-from .requests import RequestBatch, WriteRequest
+from .requests import RequestBatch, WriteRequest, merge_batches, split_by_segment
 
 __all__ = [
     "Machine",
@@ -48,6 +48,8 @@ __all__ = [
     "NO_INTERFERENCE",
     "WriteRequest",
     "RequestBatch",
+    "merge_batches",
+    "split_by_segment",
     "solve",
     "simulate_writes",
     "backend_names",

@@ -5,16 +5,21 @@ kept for tests and ad-hoc use.  The hot path of the I/O models builds a
 :class:`RequestBatch` instead — a struct-of-arrays over the same four
 fields — so an iteration with thousands of writers costs four numpy
 arrays rather than thousands of Python objects.
+
+:func:`merge_batches` / :func:`split_by_segment` are the multi-application
+primitives: several applications' batches concatenate into one batch over
+the shared OSTs (so their requests genuinely contend inside one solver
+call) and the completion-time array splits back out per application.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WriteRequest", "RequestBatch"]
+__all__ = ["WriteRequest", "RequestBatch", "merge_batches", "split_by_segment"]
 
 
 @dataclass(frozen=True)
@@ -82,3 +87,41 @@ class RequestBatch:
 
     def __repr__(self) -> str:
         return f"RequestBatch({len(self)} requests)"
+
+
+def merge_batches(batches: Sequence[RequestBatch]) -> tuple[RequestBatch, np.ndarray]:
+    """Concatenate several batches into one over the shared OSTs.
+
+    Returns the merged batch (original tags preserved) plus a parallel
+    ``segments`` array mapping every merged request back to the index of
+    its source batch, so per-source results can be recovered with
+    :func:`split_by_segment`.  Order within each source batch is kept.
+    """
+    batches = list(batches)
+    if not batches:
+        raise ValueError("merge_batches needs at least one batch")
+    merged = RequestBatch(
+        arrival=np.concatenate([b.arrival for b in batches]),
+        ost=np.concatenate([b.ost for b in batches]),
+        nbytes=np.concatenate([b.nbytes for b in batches]),
+        tag=np.concatenate([b.tag for b in batches]),
+    )
+    segments = np.repeat(np.arange(len(batches)), [len(b) for b in batches])
+    return merged, segments
+
+
+def split_by_segment(values: np.ndarray, segments: np.ndarray, count: int) -> list[np.ndarray]:
+    """Split a per-request array back into per-source arrays.
+
+    ``values`` is anything aligned with a merged batch (typically the
+    solver's completion times); ``segments`` is the map returned by
+    :func:`merge_batches`.  Within each segment the original batch order
+    is preserved.
+    """
+    values = np.asarray(values)
+    segments = np.asarray(segments)
+    if values.shape != segments.shape:
+        raise ValueError(
+            f"values shape {values.shape} does not match segments shape {segments.shape}"
+        )
+    return [values[segments == i] for i in range(count)]

@@ -4,6 +4,7 @@ Every ``run_*`` returns a :class:`repro.table.Table`; every ``check_*_shape``
 asserts the qualitative shape of the corresponding figure or claim.
 """
 
+from .app_interference import check_app_interference_shape, run_app_interference
 from .compression import check_compression_shape, run_compression
 from .insitu_scale import (
     check_insitu_shape,
@@ -35,4 +36,6 @@ __all__ = [
     "check_insitu_shape",
     "run_usability",
     "check_usability_shape",
+    "run_app_interference",
+    "check_app_interference_shape",
 ]

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import os
-import zlib
 from collections.abc import Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
@@ -17,6 +16,7 @@ from ..engine import (
     set_default_backend,
 )
 from ..io_models import IOApproach, IterationResult, resolve_approaches
+from ..util import seed_key
 
 __all__ = [
     "run_iterations",
@@ -49,7 +49,7 @@ def approach_seed_key(name: str) -> int:
     adding, removing or reordering approaches can never silently shift an
     existing experiment's random stream.
     """
-    return zlib.crc32(name.encode("utf-8"))
+    return seed_key(name)
 
 
 def cell_rng(seed: int, ranks: int, approach: IOApproach | str) -> np.random.Generator:

@@ -1,0 +1,209 @@
+"""E9: cross-application interference (beyond the paper's evaluation).
+
+The paper's headline — dedicating one core per node to I/O removes the
+jitter the file system injects into the simulation — is most interesting
+when the interference is not an abstract background model but *another
+application* checkpointing in bursts against the same OSTs.  E9 sweeps
+background workload intensity x I/O approach: a foreground application
+runs the usual iterated compute-then-write cycle with each approach while
+a bursty file-per-process background application (an inhomogeneous-
+Poisson arrival process) contends for the shared OSTs, and the table
+reports the foreground's per-rank write time and variability next to the
+background's.
+
+The expected shape: the synchronous approaches' visible write time grows
+and spreads with background intensity, while the Damaris-visible cost (a
+node-local memory copy) does not move at all — the dedicated core absorbs
+the contention in its overlapped backend write instead.
+
+Every (intensity, approach) cell is seeded from registry names via the
+crc32 scheme, so the sweep is bit-identical serially or on a process pool
+(``REPRO_JOBS``), and the foreground's random stream is *shared* across
+intensities — each approach faces the identical foreground under every
+background level, a controlled comparison.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from ..engine import KRAKEN, Machine, default_backend, resolve_machine, set_default_backend
+from ..io_models import resolve_approaches
+from ..table import Table
+from ..util import MB
+from ..workloads import Workload, run_composition
+from ._driver import _resolve_jobs, iteration_period
+
+__all__ = [
+    "INTENSITY_LEVELS",
+    "run_app_interference",
+    "check_app_interference_shape",
+]
+
+#: Background intensity levels: fraction of the background template's ranks
+#: that actually run.  ``off`` composes the foreground alone.
+INTENSITY_LEVELS: dict[str, float] = {"off": 0.0, "light": 0.25, "heavy": 1.0}
+
+
+def _default_background(ranks: int, data_per_rank: float) -> Workload:
+    """The default contender: a bursty file-per-process checkpointer."""
+    return Workload(
+        app="background",
+        ranks=ranks,
+        data_per_rank=data_per_rank,
+        arrival="burst",
+        approach="file-per-process",
+    )
+
+
+def _scaled_background(background: Workload, fraction: float) -> Workload | None:
+    if fraction <= 0.0:
+        return None
+    return background.with_overrides(ranks=max(1, round(background.ranks * fraction)))
+
+
+def _run_cell(args) -> tuple[str, str, dict]:
+    """One (intensity, approach) cell; module-level so it pickles."""
+    (
+        machine,
+        ranks,
+        iterations,
+        data_per_rank,
+        compute_time,
+        seed,
+        approach_name,
+        intensity,
+        background,
+        backend,
+        trace_dir,
+    ) = args
+    if backend is not None:
+        set_default_backend(backend)
+    foreground = Workload(
+        app="sim",
+        ranks=ranks,
+        data_per_rank=data_per_rank,
+        arrival="periodic",
+        approach=approach_name,
+    )
+    contender = _scaled_background(background, INTENSITY_LEVELS[intensity])
+    workloads = [foreground] + ([contender] if contender is not None else [])
+    trace_path = None
+    if trace_dir is not None:
+        trace_path = Path(trace_dir) / f"e9-{intensity}-{approach_name}.jsonl"
+    outcome = run_composition(
+        machine,
+        workloads,
+        iterations,
+        period=compute_time,
+        seed=seed,
+        trace_path=trace_path,
+    )
+    fg = outcome.results["sim"]
+    samples = np.concatenate([r.visible_times for r in fg])
+    phases = [float(r.visible_times.max()) for r in fg]
+    io_mean = float(samples.mean())
+    backend_mean = float(np.mean([r.backend_wall_s for r in fg]))
+    row = {
+        "intensity": intensity,
+        "approach": approach_name,
+        "bg_ranks": contender.ranks if contender is not None else 0,
+        "io_mean_s": io_mean,
+        "io_std_s": float(samples.std()),
+        "io_p99_s": float(np.percentile(samples, 99)),
+        "io_phase_mean_s": float(np.mean(phases)),
+        "backend_wall_mean_s": backend_mean,
+        "iteration_period_s": iteration_period(compute_time, float(np.mean(phases)), backend_mean),
+    }
+    if contender is not None:
+        bg_samples = np.concatenate([r.visible_times for r in outcome.results[contender.app]])
+        row["bg_io_mean_s"] = float(bg_samples.mean())
+        row["bg_io_p99_s"] = float(np.percentile(bg_samples, 99))
+    return intensity, approach_name, row
+
+
+def run_app_interference(
+    ranks: int,
+    iterations: int = 4,
+    data_per_rank: float = 45 * MB,
+    compute_time: float = 120.0,
+    machine: Machine | str = KRAKEN,
+    seed: int = 0,
+    approaches=None,
+    intensities: tuple[str, ...] = ("off", "light", "heavy"),
+    background: Workload | None = None,
+    n_jobs: int | None = None,
+    trace_dir: str | Path | None = None,
+) -> Table:
+    """Sweep background intensity x approach; per-app write time and spread.
+
+    ``background`` overrides the bursty file-per-process contender (its
+    ``ranks`` field is the ``heavy`` level; lighter intensities scale it
+    down).  When ``trace_dir`` is set, every cell records its request
+    trace there as ``e9-<intensity>-<approach>.jsonl`` for exact replay.
+    """
+    machine = resolve_machine(machine)
+    for intensity in intensities:
+        if intensity not in INTENSITY_LEVELS:
+            raise ValueError(f"unknown intensity {intensity!r}; known: {sorted(INTENSITY_LEVELS)}")
+    if background is None:
+        background = _default_background(ranks, data_per_rank)
+    names = [a.name for a in resolve_approaches(approaches)]
+    backend = default_backend()
+    cells = [
+        (
+            machine,
+            ranks,
+            iterations,
+            data_per_rank,
+            compute_time,
+            seed,
+            name,
+            intensity,
+            background,
+            backend,
+            None if trace_dir is None else str(trace_dir),
+        )
+        for intensity in intensities
+        for name in names
+    ]
+    n_jobs = min(_resolve_jobs(n_jobs), len(cells)) if cells else 1
+    if n_jobs <= 1:
+        outcomes = map(_run_cell, cells)
+    else:
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            outcomes = list(pool.map(_run_cell, cells))
+    rows = {(intensity, name): row for intensity, name, row in outcomes}
+    table = Table()
+    for intensity in intensities:
+        for name in names:
+            table.append(rows[(intensity, name)])
+    return table
+
+
+def check_app_interference_shape(table: Table) -> None:
+    """Assert the cross-application jitter claim."""
+    intensities = list(dict.fromkeys(table.column("intensity")))
+    assert len(intensities) >= 2, "need at least two intensity levels"
+    quiet, busy = intensities[0], intensities[-1]
+
+    # The Damaris-visible cost is a node-local copy: another application
+    # hammering the OSTs cannot move it, let alone spread it.  (Like the
+    # loop below, tolerate subset selections that exclude the approach.)
+    damaris = {row["intensity"]: row for row in table.where(approach="damaris")}
+    if damaris:
+        means = [damaris[i]["io_mean_s"] for i in intensities]
+        assert max(means) < 1.05 * min(means), means
+        assert all(damaris[i]["io_std_s"] < 0.05 for i in intensities), damaris
+
+    # The synchronous approaches pay for the contention in full view.
+    for name in ("file-per-process", "collective"):
+        rows = {row["intensity"]: row for row in table.where(approach=name)}
+        if not rows:
+            continue
+        assert rows[busy]["io_mean_s"] > 1.1 * rows[quiet]["io_mean_s"], (name, rows)
+        # ...and the background's own writes are visible in the busy cells.
+        assert rows[busy].get("bg_io_mean_s", 0.0) > 0.0, (name, rows)

@@ -18,6 +18,9 @@ Environment variables recognised by :meth:`ScenarioConfig.from_env`:
 ``REPRO_SEED``            base seed (default 0)
 ``REPRO_ENGINE``          engine backend (``vectorized``/``reference``)
 ``REPRO_JOBS``            process-pool width for sweeps (default 1)
+``REPRO_WORKLOAD``        background workload spec for E9
+                          (``app=bg,ranks=1152,data_mb=45,arrival=burst,...``)
+``REPRO_TRACE``           directory E9 records request traces into (JSONL)
 ========================  =====================================================
 """
 
@@ -29,6 +32,7 @@ from dataclasses import dataclass, field, replace
 
 from .engine import Interference, Machine, backend_names, resolve_machine
 from .util import MB
+from .workloads import Workload
 
 __all__ = ["ScenarioConfig", "DEFAULT_LADDER", "FULL_SCALE_RANKS"]
 
@@ -37,7 +41,7 @@ DEFAULT_LADDER: tuple[int, ...] = (576, 1152, 2304)
 #: The paper's largest Kraken configuration.
 FULL_SCALE_RANKS = 9216
 
-_TRUTHY_OFF = ("0", "", "false", "no")
+_TRUTHY_OFF = ("0", "", "false", "no", "off", "n")
 
 
 def _env_flag(env: Mapping[str, str], name: str) -> bool:
@@ -58,6 +62,11 @@ class ScenarioConfig:
     backend: str | None = None
     #: Process-pool width for (scale, approach) sweeps; 1 = in-process.
     jobs: int = 1
+    #: Background workload override for E9 (``None`` = the default bursty
+    #: file-per-process contender).
+    workload: Workload | None = None
+    #: Directory E9 records per-cell request traces into (``None`` = off).
+    trace: str | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "machine", resolve_machine(self.machine))
@@ -99,4 +108,6 @@ class ScenarioConfig:
             full_scale=full_scale,
             backend=env.get("REPRO_ENGINE") or None,
             jobs=int(env.get("REPRO_JOBS", "1")),
+            workload=Workload.parse(env["REPRO_WORKLOAD"]) if env.get("REPRO_WORKLOAD") else None,
+            trace=env.get("REPRO_TRACE") or None,
         )

@@ -1,9 +1,22 @@
-"""Byte-size constants shared across the package."""
+"""Byte-size constants and small helpers shared across the package."""
 
 from __future__ import annotations
 
-__all__ = ["KB", "MB", "GB"]
+import zlib
+
+__all__ = ["KB", "MB", "GB", "seed_key"]
 
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
+
+
+def seed_key(name: str) -> int:
+    """Stable integer identity of a registered name for rng derivation.
+
+    A CRC of the *name* — never a position in a registry or selection — so
+    adding, removing or reordering registered objects (approaches, arrival
+    processes, workloads) can never silently shift an existing experiment's
+    random stream.
+    """
+    return zlib.crc32(name.encode("utf-8"))

@@ -1,0 +1,163 @@
+"""Request-trace record and replay (JSONL).
+
+A :class:`Trace` pins everything a composed scenario put on the file
+system: per iteration, each application's generated :class:`RequestBatch`
+(arrival/ost/nbytes/tag), the sampled per-OST background load, and the
+write-class flag the merged solve used.  Saving it as JSON Lines makes a
+scenario *replayable bit-for-bit* — no rng involved on replay — and
+diffable/greppable by ordinary tools.
+
+File layout (one JSON object per line)::
+
+    {"type": "header", "version": 1, "machine": ..., "period": ..., "apps": [...], "iterations": N}
+    {"type": "solve", "iteration": 0, "large_writes": true, "background": [...]}
+    {"type": "batch", "iteration": 0, "app": "sim", "arrival": [...], "ost": [...], "nbytes": [...], "tag": [...]}
+    ...
+
+Python's ``json`` round-trips IEEE-754 doubles exactly (shortest-repr),
+so a replayed solve sees byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..engine import RequestBatch
+
+__all__ = ["Trace", "TraceIteration"]
+
+_VERSION = 1
+
+
+def _write_line(fh, record: dict) -> None:
+    fh.write(json.dumps(record) + "\n")
+
+
+@dataclass
+class TraceIteration:
+    """What one composed iteration put on the OSTs."""
+
+    large_writes: bool
+    background: np.ndarray
+    #: Per-application generated requests, keyed by app name.
+    batches: dict[str, RequestBatch] = field(default_factory=dict)
+
+
+@dataclass
+class Trace:
+    """A recorded multi-application scenario, replayable exactly."""
+
+    machine: str
+    period: float
+    apps: tuple[str, ...]
+    iterations: list[TraceIteration] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.iterations)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as JSON Lines; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            _write_line(
+                fh,
+                {
+                    "type": "header",
+                    "version": _VERSION,
+                    "machine": self.machine,
+                    "period": self.period,
+                    "apps": list(self.apps),
+                    "iterations": len(self.iterations),
+                },
+            )
+            for index, iteration in enumerate(self.iterations):
+                _write_line(
+                    fh,
+                    {
+                        "type": "solve",
+                        "iteration": index,
+                        "large_writes": iteration.large_writes,
+                        "background": [float(x) for x in iteration.background],
+                    },
+                )
+                for app in self.apps:
+                    batch = iteration.batches[app]
+                    _write_line(
+                        fh,
+                        {
+                            "type": "batch",
+                            "iteration": index,
+                            "app": app,
+                            "arrival": [float(x) for x in batch.arrival],
+                            "ost": [int(x) for x in batch.ost],
+                            "nbytes": [float(x) for x in batch.nbytes],
+                            "tag": [int(x) for x in batch.tag],
+                        },
+                    )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> Trace:
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        header: dict | None = None
+        iterations: list[TraceIteration] = []
+        with path.open(encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.get("type")
+                if kind == "header":
+                    if record.get("version") != _VERSION:
+                        raise ValueError(
+                            f"{path}: unsupported trace version {record.get('version')!r}"
+                        )
+                    header = record
+                elif header is None:
+                    raise ValueError(f"{path}:{line_no}: trace record before header")
+                elif kind == "solve":
+                    iterations.append(
+                        TraceIteration(
+                            large_writes=bool(record["large_writes"]),
+                            background=np.asarray(record["background"], dtype=np.float64),
+                        )
+                    )
+                elif kind == "batch":
+                    if record["iteration"] != len(iterations) - 1:
+                        raise ValueError(
+                            f"{path}:{line_no}: batch for iteration "
+                            f"{record['iteration']} outside iteration {len(iterations) - 1}"
+                        )
+                    iterations[-1].batches[record["app"]] = RequestBatch(
+                        arrival=np.asarray(record["arrival"], dtype=np.float64),
+                        ost=np.asarray(record["ost"], dtype=np.int64),
+                        nbytes=np.asarray(record["nbytes"], dtype=np.float64),
+                        tag=np.asarray(record["tag"], dtype=np.int64),
+                    )
+                else:
+                    raise ValueError(f"{path}:{line_no}: unknown trace record {kind!r}")
+        if header is None:
+            raise ValueError(f"{path}: not a trace file (no header line)")
+        if len(iterations) != header["iterations"]:
+            raise ValueError(
+                f"{path}: header promises {header['iterations']} iterations, "
+                f"found {len(iterations)}"
+            )
+        apps = tuple(header["apps"])
+        for index, iteration in enumerate(iterations):
+            missing = set(apps) - set(iteration.batches)
+            if missing:
+                raise ValueError(f"{path}: iteration {index} lacks batches for {sorted(missing)}")
+        return cls(
+            machine=header["machine"],
+            period=float(header["period"]),
+            apps=apps,
+            iterations=iterations,
+        )

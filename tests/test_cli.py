@@ -72,6 +72,48 @@ def test_run_e8_writes_artifacts(capsys, tmp_path):
     assert (tmp_path / "cm1.xml").exists()
 
 
+def test_run_e8_defaults_to_throwaway_dir(capsys):
+    # Without --output-dir the artifacts land in a temp dir that is gone
+    # by the time the command returns; the table must still print.
+    assert main(["run", "e8"]) == 0
+    assert "code_lines" in capsys.readouterr().out
+
+
+def test_workloads_lists_arrival_processes(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("periodic", "jittered", "poisson", "burst"):
+        assert name in out
+    assert "REPRO_WORKLOAD" in out
+
+
+def test_run_e9_json(capsys):
+    assert main(["run", "e9", "--format", "json", "--check"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {row["intensity"] for row in rows} == {"off", "light", "heavy"}
+    damaris = [row["io_mean_s"] for row in rows if row["approach"] == "damaris"]
+    assert max(damaris) < 0.5
+
+
+def test_run_e9_workload_and_trace(capsys, tmp_path):
+    assert (
+        main(
+            [
+                "run",
+                "e9",
+                "--workload",
+                "app=bg,ranks=96,arrival=poisson,approach=file-per-process",
+                "--trace",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "bg_ranks" in out
+    assert (tmp_path / "e9-heavy-damaris.jsonl").exists()
+
+
 def test_run_with_machine_and_backend(capsys, monkeypatch):
     monkeypatch.setenv("REPRO_LADDER", "192")
     assert main(["run", "e2", "--machine", "kraken", "--backend", "reference"]) == 0

@@ -67,6 +67,40 @@ def test_empty_batch():
         assert done.size == 0
 
 
+# -- RequestBatch container ------------------------------------------------
+
+
+def test_empty_batch_round_trips_through_requests():
+    batch = RequestBatch.from_requests([])
+    assert len(batch) == 0
+    assert batch.to_requests() == []
+    again = RequestBatch.from_requests(batch.to_requests())
+    assert len(again) == 0
+    assert again.tag.size == 0
+
+
+def test_batch_round_trips_through_requests():
+    reqs = [
+        WriteRequest(arrival=0.0, ost=3, nbytes=45 * MB, tag=11),
+        WriteRequest(arrival=1.5, ost=7, nbytes=90 * MB, tag=7),
+    ]
+    assert RequestBatch.from_requests(reqs).to_requests() == reqs
+
+
+def test_batch_broadcasts_scalars():
+    batch = RequestBatch(arrival=0.0, ost=[1, 2, 3], nbytes=45 * MB)
+    assert len(batch) == 3
+    np.testing.assert_array_equal(batch.arrival, [0.0, 0.0, 0.0])
+    np.testing.assert_array_equal(batch.nbytes, [45 * MB] * 3)
+    # Default tags are the batch positions.
+    np.testing.assert_array_equal(batch.tag, [0, 1, 2])
+
+
+def test_batch_rejects_mismatched_tags():
+    with pytest.raises(ValueError, match="tag length"):
+        RequestBatch(arrival=0.0, ost=[1, 2, 3], nbytes=MB, tag=[0, 1])
+
+
 def test_duplicate_tags_are_solved_per_position():
     # solve() is positional; caller tags need not be unique.
     batch = RequestBatch(0.0, [0, 0], [10 * MB, 20 * MB], tag=[5, 5])

@@ -43,6 +43,15 @@ def test_from_env_full_scale_appends_paper_point():
     assert not off.full_scale
 
 
+def test_from_env_flag_spellings():
+    # Regression: "off" and "n" used to parse as *truthy* because the
+    # falsy list only knew 0/""/false/no.
+    for value in ("off", "OFF", "n", "no", "false", "0", ""):
+        assert not ScenarioConfig.from_env({"REPRO_FULL_SCALE": value}).full_scale, value
+    for value in ("1", "true", "yes", "on"):
+        assert ScenarioConfig.from_env({"REPRO_FULL_SCALE": value}).full_scale, value
+
+
 def test_from_env_overrides():
     sc = ScenarioConfig.from_env(
         {
@@ -99,6 +108,29 @@ def test_scenario_interference_reaches_the_runners():
 def test_invalid_jobs_rejected():
     with pytest.raises(ValueError):
         ScenarioConfig(jobs=0)
+
+
+def test_from_env_workload_and_trace():
+    from repro.workloads import Workload
+
+    sc = ScenarioConfig.from_env(
+        {
+            "REPRO_WORKLOAD": "app=bg,ranks=288,data_mb=10,arrival=burst,approach=file-per-process",
+            "REPRO_TRACE": "traces/e9",
+        }
+    )
+    assert sc.workload == Workload(
+        app="bg",
+        ranks=288,
+        data_per_rank=10 * MB,
+        arrival="burst",
+        approach="file-per-process",
+    )
+    assert sc.trace == "traces/e9"
+    assert ScenarioConfig.from_env({}).workload is None
+    assert ScenarioConfig.from_env({}).trace is None
+    with pytest.raises(ValueError):
+        ScenarioConfig.from_env({"REPRO_WORKLOAD": "app=bg,ranks=288,arrival=fractal"})
 
 
 def test_with_overrides():
