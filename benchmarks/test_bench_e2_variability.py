@@ -3,9 +3,20 @@
 Regenerates the distribution of the per-rank, per-iteration I/O time under
 external file-system interference: wide and unpredictable for the standard
 approaches, collapsed to a scale-independent shared-memory copy for Damaris.
+
+The replicated benchmark repeats the experiment over >= 30 independently
+seeded copies of every cell (batched through the engine's stacked
+multi-replication solve) and applies the statistical acceptance test:
+bootstrap confidence intervals must be tight, the Damaris mean must be
+seed-stable (CV bound), and the order-of-magnitude gap must hold between
+CI bounds — so the paper's claim is demonstrably not a seed artifact.
 """
 
-from repro.experiments import check_variability_shape, run_variability
+from repro.experiments import (
+    check_variability_shape,
+    check_variability_statistics,
+    run_variability,
+)
 
 from ._common import print_table, scenario
 
@@ -34,3 +45,31 @@ def test_bench_e2_variability(benchmark):
     # (a node-local memory copy), independent of the file system's state.
     damaris = table.where(approach="damaris")[0]
     assert damaris["io_mean_s"] < 0.5
+
+
+def test_bench_e2_variability_statistics(benchmark):
+    sc = scenario()
+    ranks = 2304 if sc.full_scale else 1152
+    replications = max(sc.replications, 30)
+    table = benchmark.pedantic(
+        run_variability,
+        kwargs={
+            "ranks": ranks,
+            "iterations": 5,
+            "data_per_rank": sc.data_per_rank,
+            "compute_time": 120.0,
+            "with_interference": True,
+            "interference": sc.interference,
+            "machine": sc.machine,
+            "seed": sc.seed,
+            "replications": replications,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_table(table)
+    # The reduced table keeps the single-run column names for the means,
+    # so the qualitative shape check applies unchanged...
+    check_variability_shape(table)
+    # ...and the replication-grade acceptance test tightens it to CI level.
+    check_variability_statistics(table, min_replications=30)

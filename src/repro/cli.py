@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro run e1 --machine kraken --full-scale --format csv
+    python -m repro run e2 --replications 30 --format csv
     python -m repro run e3 --backend reference --seed 7
     python -m repro run e6 --format json
     python -m repro run e9 --workload "app=bg,ranks=1152,arrival=burst" --trace traces/
@@ -47,6 +48,7 @@ def _e1(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         machine=sc.machine,
         seed=sc.seed,
         n_jobs=sc.jobs,
+        replications=sc.replications,
     )
     return {"weak_scaling": table}
 
@@ -61,6 +63,7 @@ def _e2(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         interference=sc.interference,
         machine=sc.machine,
         seed=sc.seed,
+        replications=sc.replications,
     )
     return {"variability": table}
 
@@ -73,6 +76,7 @@ def _e3(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         compute_time=120.0,
         machine=sc.machine,
         seed=sc.seed,
+        replications=sc.replications,
     )
     return {"throughput": table}
 
@@ -84,6 +88,7 @@ def _e4(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         compute_time=300.0,
         machine=sc.machine,
         seed=sc.seed,
+        replications=sc.replications,
     )
     return {"spare_time": table}
 
@@ -106,6 +111,7 @@ def _e6(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         data_per_rank=sc.data_per_rank,
         compute_time=120.0,
         seed=sc.seed,
+        replications=sc.replications,
     )
     return {"scheduling": table}
 
@@ -114,7 +120,7 @@ def _e7(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
     scales = (92, 184, 368, 736) if sc.full_scale else (92, 184, 368)
     return {
         "insitu_scaling": experiments.run_insitu_scaling(
-            scales=scales, machine=sc.machine, seed=sc.seed
+            scales=scales, machine=sc.machine, seed=sc.seed, replications=sc.replications
         ),
         "insitu_backpressure": experiments.run_insitu_backpressure(machine=sc.machine),
     }
@@ -135,6 +141,7 @@ def _e9(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         background=sc.workload,
         n_jobs=sc.jobs,
         trace_dir=sc.trace,
+        replications=sc.replications,
     )
     return {"app_interference": table}
 
@@ -181,6 +188,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=None, help="process-pool width for multi-scale sweeps (e1)"
     )
+    run.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        metavar="N",
+        help="independently-seeded replications per cell; > 1 adds "
+        "mean/std/cv/p95 and bootstrap-CI columns (stochastic experiments)",
+    )
     run.add_argument("--format", choices=("text", "csv", "json"), default="text")
     run.add_argument(
         "--output-dir", default=None, help="artifact directory for e5/e8 (default: temp)"
@@ -219,6 +234,8 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         env["REPRO_ENGINE"] = args.backend
     if args.jobs is not None:
         env["REPRO_JOBS"] = str(args.jobs)
+    if args.replications is not None:
+        env["REPRO_REPLICATIONS"] = str(args.replications)
     if args.workload is not None:
         env["REPRO_WORKLOAD"] = args.workload
     if args.trace is not None:

@@ -22,6 +22,7 @@ from .api import (
     solve,
     use_backend,
 )
+from .batching import solve_many
 from .interference import NO_INTERFERENCE, Interference
 from .machines import (
     EXASCALE,
@@ -51,6 +52,7 @@ __all__ = [
     "merge_batches",
     "split_by_segment",
     "solve",
+    "solve_many",
     "simulate_writes",
     "backend_names",
     "register_backend",

@@ -18,6 +18,20 @@ solved without per-byte Python dict churn:
   ``S(a) + b``; a min-heap of those thresholds replaces the reference
   backend's scan-every-active-stream-per-event loop, taking the per-OST
   cost from O(k²) to O(k log k) with no remaining-bytes bookkeeping.
+* **Wide equal-size staggered batches** (stacked replications, see
+  :mod:`repro.engine.batching`): when a batch spreads over many OST
+  groups and all writes are the same size, the per-OST FIFO loops are
+  replaced by an all-OSTs-at-once two-phase matrix solve.  In the
+  checkpoint regime the writes far outlast the arrival window, so on
+  each OST every request arrives before the first one completes: the
+  *arrival phase* is then a padded-row cumsum of per-stream service
+  (yielding each request's completion threshold) and the *completion
+  phase* a second cumsum draining the queue — a handful of numpy passes
+  over a ``(osts, depth)`` matrix instead of one Python loop per OST.
+  The regime assumption is checked exactly per OST (last arrival's
+  accumulated service vs. the first completion threshold) and violating
+  OSTs fall back to the scalar FIFO loop, so the fast path is an
+  optimisation, never an approximation.
 """
 
 from __future__ import annotations
@@ -30,6 +44,13 @@ from .machines import Machine, PENALTY_CAP
 from .requests import RequestBatch
 
 __all__ = ["solve_vectorized"]
+
+#: Minimum OST-group count before the all-OSTs-at-once matrix solver for
+#: equal-size staggered batches engages.  Stacked multi-replication
+#: batches (``solve_many``) span thousands of virtual OSTs and amortise
+#: the matrix setup; ordinary single-iteration solves keep the per-OST
+#: FIFO pointer loop unchanged.
+WIDE_MIN_GROUPS = 1024
 
 
 def solve_vectorized(
@@ -56,6 +77,14 @@ def solve_vectorized(
     if np.all(arrival == arrival[0]):
         return _solve_simultaneous(
             machine.ost_bandwidth, slope, ost, arrival[0], batch.nbytes, bg_per_ost
+        )
+    if (
+        n >= WIDE_MIN_GROUPS
+        and machine.ost_count >= WIDE_MIN_GROUPS
+        and np.all(batch.nbytes == batch.nbytes[0])
+    ):
+        return _solve_wide_fifo(
+            machine.ost_bandwidth, slope, ost, arrival, float(batch.nbytes[0]), bg_per_ost
         )
     return _solve_staggered(machine.ost_bandwidth, slope, ost, arrival, batch.nbytes, bg_per_ost)
 
@@ -122,13 +151,13 @@ def _solve_staggered(
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [n]))
 
-    arrivals_sorted = arrival[order].tolist()
-    sizes_sorted = nbytes[order].tolist()
-    positions = order.tolist()
     # Equal shares mean equal sizes complete in arrival order, so the
     # pending-completion heap degenerates to a FIFO pointer.
     equal_sizes = bool(np.all(nbytes == nbytes[0]))
 
+    arrivals_sorted = arrival[order].tolist()
+    sizes_sorted = nbytes[order].tolist()
+    positions = order.tolist()
     out = np.empty(n, dtype=np.float64)
     solve_one = _solve_one_ost_fifo if equal_sizes else _solve_one_ost
     for start, end in zip(starts.tolist(), ends.tolist()):
@@ -144,6 +173,171 @@ def _solve_staggered(
             out,
         )
     return out
+
+
+def _solve_wide_fifo(
+    bw: float,
+    slope: float,
+    ost: np.ndarray,
+    arrival: np.ndarray,
+    size: float,
+    bg_per_ost: np.ndarray,
+) -> np.ndarray:
+    """All-OSTs-at-once solve of a wide equal-size staggered batch.
+
+    In the checkpoint regime the equal-size writes far outlast the
+    arrival window, so on each OST every request arrives before the
+    first one completes.  The FIFO event loop then splits into two
+    vectorised phases over a padded ``(osts, depth)`` matrix:
+
+    * **arrival phase** — between consecutive arrivals ``j`` streams
+      share the OST, so the cumulative per-stream service at each
+      arrival is a row cumsum of ``rate(j + background) * gap``; adding
+      the write size yields every request's completion threshold.
+    * **completion phase** — the queue drains in FIFO order with the
+      stream count stepping down, a second row cumsum.
+
+    The regime assumption is *checked exactly* per OST — the service
+    accumulated by the last arrival must not exceed the first request's
+    threshold — and violating OSTs are re-solved with the scalar FIFO
+    loop, so this path is bit-identical to per-OST solving either way.
+    """
+    n = ost.size
+    # Group by OST (stable radix sort, on the narrowest dtype that holds
+    # the ids — fewer radix passes), then order arrivals within each
+    # group via one row-wise argsort of a padded matrix; both sorts are
+    # stable, so the combined order equals lexsort((arrival, ost)).
+    if bg_per_ost.size <= np.iinfo(np.uint16).max:
+        key = ost.astype(np.uint16)
+    elif bg_per_ost.size <= np.iinfo(np.uint32).max:
+        key = ost.astype(np.uint32)
+    else:
+        key = ost
+    perm = np.argsort(key, kind="stable")
+    ost_sorted = ost[perm]
+    is_first = np.empty(n, dtype=bool)
+    is_first[0] = True
+    np.not_equal(ost_sorted[1:], ost_sorted[:-1], out=is_first[1:])
+    group_id = np.cumsum(is_first) - 1
+    starts = np.flatnonzero(is_first)
+    counts = np.diff(np.append(starts, n))
+    groups = counts.size
+    depth = int(counts.max())
+    pos = np.arange(n) - starts[group_id]
+    valid = np.arange(depth)[None, :] < counts[:, None]
+
+    lane = np.full((groups, depth), np.inf)
+    lane[group_id, pos] = arrival[perm]
+    row_order = np.argsort(lane, axis=1, kind="stable")
+    order = perm[(starts[:, None] + row_order)[valid]]
+
+    arrivals = np.zeros((groups, depth))
+    arrivals[group_id, pos] = arrival[order]
+    bg = bg_per_ost[ost_sorted[starts]].astype(np.float64)
+
+    # Arrival phase: j streams are active in the gap before arrival j+1.
+    service = np.zeros((groups, depth))
+    if depth > 1:
+        gaps = np.diff(arrivals, axis=1)
+        streams = np.arange(1.0, depth)[None, :] + bg[:, None]
+        inc = np.where(valid[:, 1:], _per_stream_rate(bw, slope, streams) * gaps, 0.0)
+        np.cumsum(inc, axis=1, out=service[:, 1:])
+    thresholds = service + size
+    rows = np.arange(groups)
+    service_last = service[rows, counts - 1]
+    t_last = arrivals[rows, counts - 1]
+    storm = service_last <= size
+
+    # Completion phase: the queue drains FIFO, streams stepping down.
+    remaining = counts[:, None] - np.arange(depth)[None, :]
+    streams = np.where(valid, remaining, 1.0) + bg[:, None]
+    rate = _per_stream_rate(bw, slope, streams)
+    num = np.empty_like(thresholds)
+    num[:, 0] = thresholds[:, 0] - service_last
+    num[:, 1:] = np.diff(thresholds, axis=1)
+    dt = np.where(valid, num / rate, 0.0)
+    dt[:, 0] += t_last
+    finish = np.cumsum(dt, axis=1)
+
+    out = np.empty(n, dtype=np.float64)
+    # Scatter every lane unmasked; lanes that failed the storm check hold
+    # garbage here and are overwritten by the lockstep re-solve below.
+    out[order] = finish[group_id, pos]
+    if not storm.all():
+        # Sparse early arrivals let a request finish mid-storm; those
+        # lanes re-run in lockstep — one event per lane per pass, same
+        # scalar arithmetic as the FIFO loop, still fully vectorised.
+        bad = np.flatnonzero(~storm)
+        _solve_lockstep_fifo(
+            bw,
+            slope,
+            bg[bad],
+            arrival[order],
+            size,
+            order,
+            starts[bad],
+            starts[bad] + counts[bad],
+            out,
+        )
+    return out
+
+
+def _solve_lockstep_fifo(
+    bw: float,
+    slope: float,
+    bg_per_lane: np.ndarray,
+    arr: np.ndarray,
+    size: float,
+    positions: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Lockstep FIFO sweep over a subset of OST lanes.
+
+    ``arr``/``positions`` are flat arrival-sorted-per-OST views and each
+    (start, end) pair is one lane.  Every lane's scalar loop state (wall
+    clock, cumulative service, arrival/completion cursors) is one vector
+    element and each pass advances every still-active lane by exactly one
+    event — an idle jump, an arrival, or a completion — with the per-OST
+    FIFO loop's arithmetic applied element-wise, so results stay
+    bit-identical to scalar solving.
+    """
+    n = arr.size
+    head = starts.astype(np.int64).copy()  # oldest active request per lane
+    nxt = head.copy()  # next arrival per lane
+    ends = ends.astype(np.int64)
+    t = np.zeros(head.size)  # wall clock per lane
+    service = np.zeros(head.size)  # cumulative per-stream service per lane
+    thresholds = np.empty(n)  # service level at which a request completes
+
+    active = head < ends
+    while active.any():
+        idle = active & (head == nxt)
+        if idle.any():
+            ii = nxt[idle]
+            t[idle] = np.maximum(t[idle], arr[ii])
+            thresholds[ii] = service[idle] + size
+            nxt[idle] += 1
+        busy = np.flatnonzero(active & (head != nxt))
+        if busy.size:
+            hb, ib = head[busy], nxt[busy]
+            streams = (ib - hb) + bg_per_lane[busy]
+            rate = _per_stream_rate(bw, slope, streams)
+            t_busy, s_busy = t[busy], service[busy]
+            t_complete = t_busy + (thresholds[hb] - s_busy) / rate
+            has_next = ib < ends[busy]
+            arr_next = np.where(has_next, arr[np.minimum(ib, n - 1)], np.inf)
+            arrive = has_next & (arr_next <= t_complete)
+            s_new = np.where(arrive, s_busy + rate * (arr_next - t_busy), thresholds[hb])
+            service[busy] = s_new
+            t[busy] = np.where(arrive, arr_next, t_complete)
+            thresholds[ib[arrive]] = s_new[arrive] + size
+            nxt[busy[arrive]] += 1
+            done = ~arrive
+            out[positions[hb[done]]] = t_complete[done]
+            head[busy[done]] += 1
+        active = head < ends
 
 
 def _solve_one_ost(

@@ -15,7 +15,11 @@ from .scheduling import check_scheduling_shape, run_scheduling
 from .spare_time import check_spare_time_shape, run_spare_time
 from .throughput import check_throughput_shape, run_throughput
 from .usability import check_usability_shape, run_usability
-from .variability import check_variability_shape, run_variability
+from .variability import (
+    check_variability_shape,
+    check_variability_statistics,
+    run_variability,
+)
 from .weak_scaling import check_scaling_shape, run_weak_scaling
 
 __all__ = [
@@ -23,6 +27,7 @@ __all__ = [
     "check_scaling_shape",
     "run_variability",
     "check_variability_shape",
+    "check_variability_statistics",
     "run_throughput",
     "check_throughput_shape",
     "run_spare_time",

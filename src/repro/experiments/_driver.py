@@ -16,11 +16,13 @@ from ..engine import (
     set_default_backend,
 )
 from ..io_models import IOApproach, IterationResult, resolve_approaches
+from ..stats.replication import cell_rng, run_replications
 from ..util import seed_key
 
 __all__ = [
     "run_iterations",
     "run_all_approaches",
+    "run_replicated_approaches",
     "run_sweep",
     "cell_rng",
     "approach_seed_key",
@@ -29,6 +31,13 @@ __all__ = [
 ]
 
 DEFAULT_INTERFERENCE = Interference()
+
+
+def _validate_replications(replications: int) -> None:
+    """Every experiment runner rejects a non-positive replication count
+    eagerly, instead of silently producing an empty or single-run table."""
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
 
 
 def iteration_period(compute_time: float, visible_s: float, backend_wall_s: float) -> float:
@@ -50,18 +59,6 @@ def approach_seed_key(name: str) -> int:
     existing experiment's random stream.
     """
     return seed_key(name)
-
-
-def cell_rng(seed: int, ranks: int, approach: IOApproach | str) -> np.random.Generator:
-    """The rng of one (seed, scale, approach) cell of a sweep.
-
-    Derived from ``[seed, ranks, crc32(approach.name)]``, so every cell is
-    reproducible on its own, independent of which other scales or
-    approaches run alongside it — which is also what makes the cells of
-    :func:`run_sweep` safe to run in parallel processes.
-    """
-    name = approach if isinstance(approach, str) else approach.name
-    return np.random.default_rng([seed, ranks, approach_seed_key(name)])
 
 
 def run_iterations(
@@ -113,13 +110,77 @@ def run_all_approaches(
         )
 
 
-def _run_cell(args) -> tuple[int, str, list[IterationResult]]:
+def run_replicated_approaches(
+    machine: Machine,
+    ranks: int,
+    iterations: int,
+    data_per_rank: float,
+    seed: int,
+    with_interference: bool,
+    replications: int,
+    approaches: Sequence[IOApproach | str] | None = None,
+    interference: Interference | None = None,
+    batched: bool = True,
+) -> Iterator[tuple[IOApproach, list[list[IterationResult]]]]:
+    """Replicated :func:`run_all_approaches`: R independently-seeded copies.
+
+    Yields ``(approach, replications)`` where the inner value holds one
+    result list per replication (replication 0 being the historical
+    stream).  Replications solve batched through the engine's stacked
+    :func:`~repro.engine.solve_many` path by default; ``batched=False``
+    keeps the serial ground-truth loop.
+    """
+    effective = _effective_interference(with_interference, interference)
+    for approach in resolve_approaches(approaches):
+        yield (
+            approach,
+            run_replications(
+                approach,
+                machine,
+                ranks,
+                iterations,
+                data_per_rank,
+                seed,
+                replications,
+                interference=effective,
+                batched=batched,
+            ),
+        )
+
+
+def _run_cell(args) -> tuple[int, str, list[IterationResult] | list[list[IterationResult]]]:
     """One (scale, approach) cell of a sweep; module-level so it pickles."""
-    machine, ranks, iterations, data_per_rank, seed, interference, approach, backend = args
+    (
+        machine,
+        ranks,
+        iterations,
+        data_per_rank,
+        seed,
+        interference,
+        approach,
+        backend,
+        replications,
+        batched,
+    ) = args
     if backend is not None:
         set_default_backend(backend)
-    rng = cell_rng(seed, ranks, approach)
-    results = run_iterations(approach, machine, ranks, iterations, data_per_rank, rng, interference)
+    if replications is None:
+        rng = cell_rng(seed, ranks, approach)
+        results = run_iterations(
+            approach, machine, ranks, iterations, data_per_rank, rng, interference
+        )
+    else:
+        results = run_replications(
+            approach,
+            machine,
+            ranks,
+            iterations,
+            data_per_rank,
+            seed,
+            replications,
+            interference=interference,
+            batched=batched,
+        )
     return ranks, approach.name, results
 
 
@@ -139,19 +200,36 @@ def run_sweep(
     approaches: Sequence[IOApproach | str] | None = None,
     n_jobs: int | None = None,
     interference: Interference | None = None,
-) -> dict[tuple[int, str], list[IterationResult]]:
+    replications: int | None = None,
+    batched: bool = True,
+) -> dict[tuple[int, str], list[IterationResult] | list[list[IterationResult]]]:
     """Run every (scale, approach) cell, optionally across a process pool.
 
     The per-cell rng derivation (:func:`cell_rng`) makes every cell
     independent of execution order, so the result is bit-identical whether
     the sweep runs serially or on ``n_jobs`` worker processes
-    (``REPRO_JOBS`` when ``None``).
+    (``REPRO_JOBS`` when ``None``).  With ``replications`` set, every cell
+    value becomes one result list per replication — all of a cell's
+    replications run inside one worker (batched through the stacked
+    engine path), so partitioning across processes still cannot change a
+    single bit of the output.
     """
     resolved = resolve_approaches(approaches)
     backend = default_backend()
     effective = _effective_interference(with_interference, interference)
     cells = [
-        (machine, ranks, iterations, data_per_rank, seed, effective, approach, backend)
+        (
+            machine,
+            ranks,
+            iterations,
+            data_per_rank,
+            seed,
+            effective,
+            approach,
+            backend,
+            replications,
+            batched,
+        )
         for ranks in scales
         for approach in resolved
     ]

@@ -32,10 +32,11 @@ import numpy as np
 
 from ..engine import KRAKEN, Machine, default_backend, resolve_machine, set_default_backend
 from ..io_models import resolve_approaches
+from ..stats import reduce_replications
 from ..table import Table
-from ..util import MB
+from ..util import MB, replication_seed
 from ..workloads import Workload, run_composition
-from ._driver import _resolve_jobs, iteration_period
+from ._driver import _resolve_jobs, _validate_replications, iteration_period
 
 __all__ = [
     "INTENSITY_LEVELS",
@@ -65,7 +66,7 @@ def _scaled_background(background: Workload, fraction: float) -> Workload | None
     return background.with_overrides(ranks=max(1, round(background.ranks * fraction)))
 
 
-def _run_cell(args) -> tuple[str, str, dict]:
+def _run_cell(args) -> tuple[str, str, list[dict]]:
     """One (intensity, approach) cell; module-level so it pickles."""
     (
         machine,
@@ -79,6 +80,7 @@ def _run_cell(args) -> tuple[str, str, dict]:
         background,
         backend,
         trace_dir,
+        replications,
     ) = args
     if backend is not None:
         set_default_backend(backend)
@@ -91,38 +93,47 @@ def _run_cell(args) -> tuple[str, str, dict]:
     )
     contender = _scaled_background(background, INTENSITY_LEVELS[intensity])
     workloads = [foreground] + ([contender] if contender is not None else [])
-    trace_path = None
-    if trace_dir is not None:
-        trace_path = Path(trace_dir) / f"e9-{intensity}-{approach_name}.jsonl"
-    outcome = run_composition(
-        machine,
-        workloads,
-        iterations,
-        period=compute_time,
-        seed=seed,
-        trace_path=trace_path,
-    )
-    fg = outcome.results["sim"]
-    samples = np.concatenate([r.visible_times for r in fg])
-    phases = [float(r.visible_times.max()) for r in fg]
-    io_mean = float(samples.mean())
-    backend_mean = float(np.mean([r.backend_wall_s for r in fg]))
-    row = {
-        "intensity": intensity,
-        "approach": approach_name,
-        "bg_ranks": contender.ranks if contender is not None else 0,
-        "io_mean_s": io_mean,
-        "io_std_s": float(samples.std()),
-        "io_p99_s": float(np.percentile(samples, 99)),
-        "io_phase_mean_s": float(np.mean(phases)),
-        "backend_wall_mean_s": backend_mean,
-        "iteration_period_s": iteration_period(compute_time, float(np.mean(phases)), backend_mean),
-    }
-    if contender is not None:
-        bg_samples = np.concatenate([r.visible_times for r in outcome.results[contender.app]])
-        row["bg_io_mean_s"] = float(bg_samples.mean())
-        row["bg_io_p99_s"] = float(np.percentile(bg_samples, 99))
-    return intensity, approach_name, row
+    rows = []
+    for index in range(replications):
+        trace_path = None
+        if trace_dir is not None and index == 0:
+            # Replication 0 is the historical stream; its trace is the one
+            # a replay reproduces bit for bit.
+            trace_path = Path(trace_dir) / f"e9-{intensity}-{approach_name}.jsonl"
+        outcome = run_composition(
+            machine,
+            workloads,
+            iterations,
+            period=compute_time,
+            seed=replication_seed(seed, index),
+            trace_path=trace_path,
+        )
+        fg = outcome.results["sim"]
+        samples = np.concatenate([r.visible_times for r in fg])
+        phases = [float(r.visible_times.max()) for r in fg]
+        io_mean = float(samples.mean())
+        backend_mean = float(np.mean([r.backend_wall_s for r in fg]))
+        row = {
+            "intensity": intensity,
+            "approach": approach_name,
+            "bg_ranks": contender.ranks if contender is not None else 0,
+            "io_mean_s": io_mean,
+            "io_std_s": float(samples.std()),
+            "io_p99_s": float(np.percentile(samples, 99)),
+            "io_phase_mean_s": float(np.mean(phases)),
+            "backend_wall_mean_s": backend_mean,
+            "iteration_period_s": iteration_period(
+                compute_time, float(np.mean(phases)), backend_mean
+            ),
+        }
+        if contender is not None:
+            bg_samples = np.concatenate([r.visible_times for r in outcome.results[contender.app]])
+            row["bg_io_mean_s"] = float(bg_samples.mean())
+            row["bg_io_p99_s"] = float(np.percentile(bg_samples, 99))
+        if replications > 1:
+            row["replication"] = index
+        rows.append(row)
+    return intensity, approach_name, rows
 
 
 def run_app_interference(
@@ -137,13 +148,17 @@ def run_app_interference(
     background: Workload | None = None,
     n_jobs: int | None = None,
     trace_dir: str | Path | None = None,
+    replications: int = 1,
 ) -> Table:
     """Sweep background intensity x approach; per-app write time and spread.
 
     ``background`` overrides the bursty file-per-process contender (its
     ``ranks`` field is the ``heavy`` level; lighter intensities scale it
     down).  When ``trace_dir`` is set, every cell records its request
-    trace there as ``e9-<intensity>-<approach>.jsonl`` for exact replay.
+    trace there as ``e9-<intensity>-<approach>.jsonl`` for exact replay
+    (replication 0's when replicated).  All of a cell's replications run
+    inside one worker, so ``REPRO_JOBS`` partitioning cannot change the
+    reduced table.
     """
     machine = resolve_machine(machine)
     for intensity in intensities:
@@ -151,6 +166,7 @@ def run_app_interference(
             raise ValueError(f"unknown intensity {intensity!r}; known: {sorted(INTENSITY_LEVELS)}")
     if background is None:
         background = _default_background(ranks, data_per_rank)
+    _validate_replications(replications)
     names = [a.name for a in resolve_approaches(approaches)]
     backend = default_backend()
     cells = [
@@ -166,6 +182,7 @@ def run_app_interference(
             background,
             backend,
             None if trace_dir is None else str(trace_dir),
+            replications,
         )
         for intensity in intensities
         for name in names
@@ -176,11 +193,14 @@ def run_app_interference(
     else:
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             outcomes = list(pool.map(_run_cell, cells))
-    rows = {(intensity, name): row for intensity, name, row in outcomes}
+    cell_rows = {(intensity, name): rows for intensity, name, rows in outcomes}
     table = Table()
     for intensity in intensities:
         for name in names:
-            table.append(rows[(intensity, name)])
+            for row in cell_rows[(intensity, name)]:
+                table.append(row)
+    if replications > 1:
+        table = reduce_replications(table, ("intensity", "approach"), seed=seed)
     return table
 
 

@@ -18,7 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import KRAKEN, Machine, resolve_machine
+from ..stats import reduce_replications
 from ..table import Table
+from ..util import replication_seed
+from ._driver import _validate_replications
 
 __all__ = ["run_insitu_scaling", "run_insitu_backpressure", "check_insitu_shape"]
 
@@ -33,30 +36,39 @@ def run_insitu_scaling(
     iterations: int = 3,
     machine: Machine | str = KRAKEN,
     seed: int = 0,
+    replications: int = 1,
 ) -> Table:
     machine = resolve_machine(machine)
+    _validate_replications(replications)
     table = Table()
     for cores in scales:
-        # Per-rung seeding: a row is reproducible from (seed, cores) alone,
-        # independent of which other scales run alongside it.
-        rng = np.random.default_rng([seed, cores])
-        # Synchronous VisIt-like coupling: rendering plus an all-to-one
-        # reduction inside the loop; grows with the core count.
-        sync_samples = 0.02 * cores**0.85 * rng.lognormal(0.0, 0.05, size=iterations)
-        # Damaris coupling: the shared-memory copy, flat in the core count.
-        copy = NEK_DATA_PER_CORE / machine.shm_bandwidth
-        damaris_samples = copy * rng.lognormal(0.0, 0.05, size=iterations)
-        for coupling, samples in (
-            ("visit-like (synchronous)", sync_samples),
-            ("damaris (dedicated cores)", damaris_samples),
-        ):
-            mean = float(samples.mean())
-            table.append(
-                coupling=coupling,
-                cores=cores,
-                insitu_mean_s=mean,
-                run_time_s=iterations * (NEK_COMPUTE_S + mean),
-            )
+        for index in range(replications):
+            # Per-rung seeding: a row is reproducible from (seed, cores,
+            # replication) alone, independent of which other scales run
+            # alongside it (replication 0 = the historical stream).
+            rng = np.random.default_rng([replication_seed(seed, index), cores])
+            # Synchronous VisIt-like coupling: rendering plus an all-to-one
+            # reduction inside the loop; grows with the core count.
+            sync_samples = 0.02 * cores**0.85 * rng.lognormal(0.0, 0.05, size=iterations)
+            # Damaris coupling: the shared-memory copy, flat in the core count.
+            copy = NEK_DATA_PER_CORE / machine.shm_bandwidth
+            damaris_samples = copy * rng.lognormal(0.0, 0.05, size=iterations)
+            for coupling, samples in (
+                ("visit-like (synchronous)", sync_samples),
+                ("damaris (dedicated cores)", damaris_samples),
+            ):
+                mean = float(samples.mean())
+                row = {
+                    "coupling": coupling,
+                    "cores": cores,
+                    "insitu_mean_s": mean,
+                    "run_time_s": iterations * (NEK_COMPUTE_S + mean),
+                }
+                if replications > 1:
+                    row["replication"] = index
+                table.append(row)
+    if replications > 1:
+        table = reduce_replications(table, ("coupling", "cores"), seed=seed)
     return table
 
 

@@ -15,9 +15,10 @@ import numpy as np
 
 from ..engine import KRAKEN, Machine, RequestBatch, resolve_machine, solve
 from ..io_models import DedicatedCores
+from ..stats import reduce_replications
 from ..table import Table
-from ..util import GB, MB
-from ._driver import DEFAULT_INTERFERENCE
+from ..util import GB, MB, replication_seed
+from ._driver import DEFAULT_INTERFERENCE, _validate_replications
 
 __all__ = ["run_scheduling", "check_scheduling_shape"]
 
@@ -51,59 +52,70 @@ def run_scheduling(
     with_interference: bool = False,
     seed: int = 0,
     interference=None,
+    replications: int = 1,
 ) -> Table:
     machine = resolve_machine(machine)
+    _validate_replications(replications)
     if wave_size is None:
         wave_size = machine.ost_count
     nodes = machine.nodes_for(ranks)
     node_bytes = DedicatedCores().node_bytes(machine, ranks, data_per_rank)
     total_bytes = node_bytes * nodes
 
-    rng = np.random.default_rng([seed, ranks, wave_size])
     if with_interference:
         interference = DEFAULT_INTERFERENCE if interference is None else interference
     else:
         interference = None
-    # Both policies face the same file-system weather and OST placement.
-    per_iteration = []
-    for _ in range(iterations):
-        background = interference.sample_background(machine, rng) if interference else None
-        osts = rng.permutation(nodes) % machine.ost_count
-        per_iteration.append((background, osts))
 
     table = Table()
-    for policy in ("unscheduled", "scheduled"):
-        walls = []
-        for background, osts in per_iteration:
-            if policy == "unscheduled":
-                # Every dedicated core fires as soon as its data is ready.
-                batch = RequestBatch(arrival=0.0, ost=osts, nbytes=node_bytes)
-                done = solve(machine, batch, background=background, large_writes=True)
-                walls.append(float(done.max()))
-            else:
-                # Waves of at most wave_size writers, one after the other.
-                # The scheduler knows the OST placement and spreads each
-                # OST's writers across waves, so a wave holds at most one
-                # stream per OST — that balance is what coordination buys.
-                wall = 0.0
-                for wave in _balanced_waves(osts, nodes, wave_size):
-                    batch = RequestBatch(arrival=0.0, ost=osts[wave], nbytes=node_bytes)
+    for index in range(replications):
+        rng = np.random.default_rng([replication_seed(seed, index), ranks, wave_size])
+        # Both policies face the same file-system weather and OST placement.
+        per_iteration = []
+        for _ in range(iterations):
+            background = interference.sample_background(machine, rng) if interference else None
+            osts = rng.permutation(nodes) % machine.ost_count
+            per_iteration.append((background, osts))
+
+        for policy in ("unscheduled", "scheduled"):
+            walls = []
+            for background, osts in per_iteration:
+                if policy == "unscheduled":
+                    # Every dedicated core fires as soon as its data is ready.
+                    batch = RequestBatch(arrival=0.0, ost=osts, nbytes=node_bytes)
                     done = solve(machine, batch, background=background, large_writes=True)
-                    wall += float(done.max())
-                walls.append(wall)
-        wall_mean = float(np.mean(walls))
-        table.append(
-            policy=policy,
-            ranks=ranks,
-            writers=nodes,
-            osts=machine.ost_count,
-            wave_size=wave_size if policy == "scheduled" else nodes,
-            io_time_mean_s=wall_mean,
-            io_time_max_s=float(np.max(walls)),
-            throughput_gb_s=total_bytes / wall_mean / GB,
-            # Whether the asynchronous writes stay hidden inside the next
-            # compute phase (the point of overlapping them at all).
-            hidden_by_compute=bool(np.max(walls) <= compute_time),
+                    walls.append(float(done.max()))
+                else:
+                    # Waves of at most wave_size writers, one after the other.
+                    # The scheduler knows the OST placement and spreads each
+                    # OST's writers across waves, so a wave holds at most one
+                    # stream per OST — that balance is what coordination buys.
+                    wall = 0.0
+                    for wave in _balanced_waves(osts, nodes, wave_size):
+                        batch = RequestBatch(arrival=0.0, ost=osts[wave], nbytes=node_bytes)
+                        done = solve(machine, batch, background=background, large_writes=True)
+                        wall += float(done.max())
+                    walls.append(wall)
+            wall_mean = float(np.mean(walls))
+            row = {
+                "policy": policy,
+                "ranks": ranks,
+                "writers": nodes,
+                "osts": machine.ost_count,
+                "wave_size": wave_size if policy == "scheduled" else nodes,
+                "io_time_mean_s": wall_mean,
+                "io_time_max_s": float(np.max(walls)),
+                "throughput_gb_s": total_bytes / wall_mean / GB,
+                # Whether the asynchronous writes stay hidden inside the next
+                # compute phase (the point of overlapping them at all).
+                "hidden_by_compute": bool(np.max(walls) <= compute_time),
+            }
+            if replications > 1:
+                row["replication"] = index
+            table.append(row)
+    if replications > 1:
+        table = reduce_replications(
+            table, ("policy", "ranks", "writers", "osts", "wave_size"), seed=seed
         )
     return table
 

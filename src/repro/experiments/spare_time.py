@@ -14,9 +14,10 @@ import numpy as np
 
 from ..engine import KRAKEN, Machine, resolve_machine
 from ..io_models import DedicatedCores
+from ..stats import reduce_replications
 from ..table import Table
-from ..util import MB
-from ._driver import iteration_period, run_iterations
+from ..util import MB, replication_seed
+from ._driver import _validate_replications, iteration_period, run_iterations
 
 __all__ = ["run_spare_time", "check_spare_time_shape"]
 
@@ -28,29 +29,39 @@ def run_spare_time(
     compute_time: float = 300.0,
     machine: Machine | str = KRAKEN,
     seed: int = 0,
+    replications: int = 1,
 ) -> Table:
     machine = resolve_machine(machine)
+    _validate_replications(replications)
     approach = DedicatedCores()
     table = Table()
     for ranks in scales:
-        rng = np.random.default_rng([seed, ranks])
-        results = run_iterations(approach, machine, ranks, iterations, data_per_rank, rng)
-        nodes = machine.nodes_for(ranks)
-        node_bytes = approach.node_bytes(machine, ranks, data_per_rank)
-        # Ingest of the clients' shared-memory copies plus the async write.
-        ingest = node_bytes / machine.shm_bandwidth
-        busy = ingest + float(np.mean([r.backend_busy_s for r in results]))
-        copy = float(np.mean([r.visible_times.mean() for r in results]))
-        # Backpressure bound: with a compute phase shorter than the core's
-        # busy time the idle fraction bottoms out at ~0, never negative.
-        period = iteration_period(compute_time, copy, busy)
-        table.append(
-            ranks=ranks,
-            nodes=nodes,
-            busy_mean_s=busy,
-            period_s=period,
-            idle_fraction=1.0 - busy / period,
-        )
+        for index in range(replications):
+            # Replication 0 keeps the experiment's historical [seed, ranks]
+            # stream; further replications shift the seed by name-hash.
+            rng = np.random.default_rng([replication_seed(seed, index), ranks])
+            results = run_iterations(approach, machine, ranks, iterations, data_per_rank, rng)
+            nodes = machine.nodes_for(ranks)
+            node_bytes = approach.node_bytes(machine, ranks, data_per_rank)
+            # Ingest of the clients' shared-memory copies plus the async write.
+            ingest = node_bytes / machine.shm_bandwidth
+            busy = ingest + float(np.mean([r.backend_busy_s for r in results]))
+            copy = float(np.mean([r.visible_times.mean() for r in results]))
+            # Backpressure bound: with a compute phase shorter than the core's
+            # busy time the idle fraction bottoms out at ~0, never negative.
+            period = iteration_period(compute_time, copy, busy)
+            row = {
+                "ranks": ranks,
+                "nodes": nodes,
+                "busy_mean_s": busy,
+                "period_s": period,
+                "idle_fraction": 1.0 - busy / period,
+            }
+            if replications > 1:
+                row["replication"] = index
+            table.append(row)
+    if replications > 1:
+        table = reduce_replications(table, ("ranks", "nodes"), seed=seed)
     return table
 
 

@@ -12,11 +12,32 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import KRAKEN, Machine, resolve_machine
+from ..stats import reduce_replications
 from ..table import Table
 from ..util import GB, MB
-from ._driver import iteration_period, run_all_approaches
+from ._driver import (
+    _validate_replications,
+    iteration_period,
+    run_all_approaches,
+    run_replicated_approaches,
+)
 
 __all__ = ["run_throughput", "check_throughput_shape"]
+
+
+def _throughput_row(name: str, ranks: int, results, compute_time: float, iterations: int) -> dict:
+    throughputs = [r.bytes_written / r.backend_wall_s for r in results]
+    visible_mean = float(np.mean([r.visible_times.mean() for r in results]))
+    backend_mean = float(np.mean([r.backend_wall_s for r in results]))
+    period = iteration_period(compute_time, visible_mean, backend_mean)
+    return {
+        "approach": name,
+        "ranks": ranks,
+        "throughput_gb_s": float(np.mean(throughputs)) / GB,
+        "io_time_s": backend_mean,
+        "visible_mean_s": visible_mean,
+        "run_time_s": iterations * period,
+    }
 
 
 def run_throughput(
@@ -29,32 +50,43 @@ def run_throughput(
     seed: int = 0,
     approaches=None,
     interference=None,
+    replications: int = 1,
+    batched: bool = True,
 ) -> Table:
     machine = resolve_machine(machine)
+    _validate_replications(replications)
     table = Table()
-    for approach, results in run_all_approaches(
+    if replications <= 1:
+        for approach, results in run_all_approaches(
+            machine,
+            ranks,
+            iterations,
+            data_per_rank,
+            seed,
+            with_interference,
+            approaches=approaches,
+            interference=interference,
+        ):
+            table.append(_throughput_row(approach.name, ranks, results, compute_time, iterations))
+        return table
+    for approach, reps in run_replicated_approaches(
         machine,
         ranks,
         iterations,
         data_per_rank,
         seed,
         with_interference,
+        replications,
         approaches=approaches,
         interference=interference,
+        batched=batched,
     ):
-        throughputs = [r.bytes_written / r.backend_wall_s for r in results]
-        visible_mean = float(np.mean([r.visible_times.mean() for r in results]))
-        backend_mean = float(np.mean([r.backend_wall_s for r in results]))
-        period = iteration_period(compute_time, visible_mean, backend_mean)
-        table.append(
-            approach=approach.name,
-            ranks=ranks,
-            throughput_gb_s=float(np.mean(throughputs)) / GB,
-            io_time_s=backend_mean,
-            visible_mean_s=visible_mean,
-            run_time_s=iterations * period,
-        )
-    return table
+        for index, results in enumerate(reps):
+            table.append(
+                _throughput_row(approach.name, ranks, results, compute_time, iterations),
+                replication=index,
+            )
+    return reduce_replications(table, ("approach", "ranks"), seed=seed)
 
 
 def check_throughput_shape(table: Table) -> None:

@@ -15,40 +15,17 @@ import numpy as np
 
 from ..engine import KRAKEN, Machine, resolve_machine
 from ..io_models import resolve_approaches
+from ..stats import reduce_replications
 from ..table import Table
 from ..util import MB
-from ._driver import iteration_period, run_sweep
+from ._driver import _validate_replications, iteration_period, run_sweep
 
 __all__ = ["run_weak_scaling", "check_scaling_shape"]
 
 
-def run_weak_scaling(
-    scales,
-    iterations: int = 2,
-    data_per_rank: float = 45 * MB,
-    compute_time: float = 300.0,
-    machine: Machine | str = KRAKEN,
-    with_interference: bool = False,
-    seed: int = 0,
-    approaches=None,
-    n_jobs: int | None = None,
-    interference=None,
-) -> Table:
-    machine = resolve_machine(machine)
-    scales = list(scales)
-    names = [a.name for a in resolve_approaches(approaches)]
-    sweep = run_sweep(
-        machine,
-        scales,
-        iterations,
-        data_per_rank,
-        seed,
-        with_interference,
-        approaches=approaches,
-        n_jobs=n_jobs,
-        interference=interference,
-    )
-    table = Table()
+def _scaling_rows(sweep, scales, names, iterations: int, compute_time: float) -> list[dict]:
+    """Rows of one (replication of a) sweep, speedup baselines included."""
+    out = []
     for ranks in scales:
         rows = []
         for name in names:
@@ -74,8 +51,53 @@ def run_weak_scaling(
         for row in rows:
             if collective_run is not None:
                 row["speedup_vs_collective"] = collective_run / row["run_time_s"]
+            out.append(row)
+    return out
+
+
+def run_weak_scaling(
+    scales,
+    iterations: int = 2,
+    data_per_rank: float = 45 * MB,
+    compute_time: float = 300.0,
+    machine: Machine | str = KRAKEN,
+    with_interference: bool = False,
+    seed: int = 0,
+    approaches=None,
+    n_jobs: int | None = None,
+    interference=None,
+    replications: int = 1,
+    batched: bool = True,
+) -> Table:
+    machine = resolve_machine(machine)
+    _validate_replications(replications)
+    scales = list(scales)
+    names = [a.name for a in resolve_approaches(approaches)]
+    sweep = run_sweep(
+        machine,
+        scales,
+        iterations,
+        data_per_rank,
+        seed,
+        with_interference,
+        approaches=approaches,
+        n_jobs=n_jobs,
+        interference=interference,
+        replications=replications if replications > 1 else None,
+        batched=batched,
+    )
+    table = Table()
+    if replications <= 1:
+        for row in _scaling_rows(sweep, scales, names, iterations, compute_time):
             table.append(row)
-    return table
+        return table
+    # Per-replication speedups compare same-replication runs, so the
+    # reduced speedup column is a genuine paired statistic.
+    for index in range(replications):
+        cut = {key: reps[index] for key, reps in sweep.items()}
+        for row in _scaling_rows(cut, scales, names, iterations, compute_time):
+            table.append(row, replication=index)
+    return reduce_replications(table, ("approach", "ranks"), seed=seed)
 
 
 def check_scaling_shape(table: Table) -> None:

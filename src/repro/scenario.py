@@ -18,6 +18,8 @@ Environment variables recognised by :meth:`ScenarioConfig.from_env`:
 ``REPRO_SEED``            base seed (default 0)
 ``REPRO_ENGINE``          engine backend (``vectorized``/``reference``)
 ``REPRO_JOBS``            process-pool width for sweeps (default 1)
+``REPRO_REPLICATIONS``    independently-seeded replications per experiment
+                          cell; > 1 adds CI columns (default 1)
 ``REPRO_WORKLOAD``        background workload spec for E9
                           (``app=bg,ranks=1152,data_mb=45,arrival=burst,...``)
 ``REPRO_TRACE``           directory E9 records request traces into (JSONL)
@@ -62,6 +64,9 @@ class ScenarioConfig:
     backend: str | None = None
     #: Process-pool width for (scale, approach) sweeps; 1 = in-process.
     jobs: int = 1
+    #: Independently-seeded replications per experiment cell; > 1 makes
+    #: the stochastic experiments report bootstrap-CI column families.
+    replications: int = 1
     #: Background workload override for E9 (``None`` = the default bursty
     #: file-per-process contender).
     workload: Workload | None = None
@@ -80,6 +85,8 @@ class ScenarioConfig:
                 )
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.replications < 1:
+            raise ValueError(f"replications must be >= 1, got {self.replications}")
 
     def with_overrides(self, **overrides: object) -> ScenarioConfig:
         """A copy of this scenario with some fields replaced."""
@@ -108,6 +115,7 @@ class ScenarioConfig:
             full_scale=full_scale,
             backend=env.get("REPRO_ENGINE") or None,
             jobs=int(env.get("REPRO_JOBS", "1")),
+            replications=int(env.get("REPRO_REPLICATIONS", "1")),
             workload=Workload.parse(env["REPRO_WORKLOAD"]) if env.get("REPRO_WORKLOAD") else None,
             trace=env.get("REPRO_TRACE") or None,
         )

@@ -1,0 +1,107 @@
+"""Reducing per-replication result tables into CI-bearing summary tables.
+
+Every experiment runner can emit one row per (cell, replication); this
+module collapses those rows into one row per cell.  For each float
+column ``c`` the reduced row carries
+
+========================  ====================================================
+``c``                     mean across replications (same name, so the
+                          single-run shape checks keep working on reduced
+                          tables)
+``c_std``                 sample spread across replications
+``c_cv``                  coefficient of variation (std / |mean|)
+``c_p95``                 95th percentile across replications
+``c_ci_lo``/``c_ci_hi``   percentile-bootstrap confidence interval of the
+                          mean (:func:`repro.stats.bootstrap.bootstrap_ci`)
+========================  ====================================================
+
+plus a ``replications`` count.  Integer, boolean and string columns are
+carried through unchanged when they are constant within the group (e.g.
+``files_created``, ``ranks``) and dropped otherwise — a varying
+non-float column has no meaningful cross-replication reduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..table import Table
+from .bootstrap import DEFAULT_RESAMPLES, bootstrap_ci
+
+__all__ = ["reduce_replications", "replication_reducer"]
+
+
+def replication_reducer(
+    *,
+    confidence: float = 0.95,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 0,
+):
+    """A ``Table.group_reduce`` reducer producing the CI column family."""
+
+    def reduce(column: str, values: list) -> dict:
+        # len(values) only equals the replication count for columns every
+        # replication emitted; reduce_replications overwrites it with the
+        # group's true row count (this keeps the column position early).
+        cells: dict[str, object] = {"replications": len(values)}
+        if not all(isinstance(v, float) for v in values):
+            # Carry constant metadata through; drop anything that varies.
+            if len(set(values)) == 1:
+                cells[column] = values[0]
+            return cells
+        samples = np.asarray(values, dtype=np.float64)
+        mean = float(samples.mean())
+        std = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
+        lo, hi = bootstrap_ci(
+            samples, confidence=confidence, resamples=resamples, seed=seed, key=column
+        )
+        cells.update(
+            {
+                column: mean,
+                f"{column}_std": std,
+                f"{column}_cv": std / abs(mean) if mean else 0.0,
+                f"{column}_p95": float(np.percentile(samples, 95)),
+                f"{column}_ci_lo": lo,
+                f"{column}_ci_hi": hi,
+            }
+        )
+        return cells
+
+    return reduce
+
+
+def reduce_replications(
+    table: Table,
+    group_by: str | Iterable[str],
+    *,
+    confidence: float = 0.95,
+    resamples: int = DEFAULT_RESAMPLES,
+    seed: int = 0,
+) -> Table:
+    """Collapse a per-replication table into one CI-bearing row per group.
+
+    ``table`` holds one row per (cell, replication) with the cell identity
+    in the ``group_by`` columns; the ``replication`` index column (if
+    present) is dropped on the way out.
+    """
+    keys = [group_by] if isinstance(group_by, str) else list(group_by)
+    reduced = table.group_reduce(
+        keys,
+        replication_reducer(confidence=confidence, resamples=resamples, seed=seed),
+        exclude=("replication",),
+    )
+    # The reducer sees one column's values at a time, so a sparsely
+    # populated column would understate the count; the authoritative
+    # replication count of a group is its row count.
+    counts: dict[tuple, int] = {}
+    for row in table:
+        group = tuple(row[k] for k in keys)
+        counts[group] = counts.get(group, 0) + 1
+    out = Table()
+    for row in reduced:
+        cells = row.as_dict()
+        cells["replications"] = counts[tuple(cells[k] for k in keys)]
+        out.append(cells)
+    return out

@@ -117,8 +117,18 @@ class Table:
         """Rows matching every predicate.
 
         A predicate value is compared by equality; pass a callable to test
-        the cell instead (missing cells never match).
+        the cell instead.  Rows lacking a (sparsely populated) predicate
+        column never match, but filtering a non-empty table on a column
+        *no* row has is almost certainly a typo and raises a ``KeyError``
+        naming the column instead of silently returning nothing.
         """
+        if self._rows:
+            known = set(self.columns())
+            for key in predicates:
+                if key not in known:
+                    raise KeyError(
+                        f"no column {key!r} in table (columns: {sorted(known)})"
+                    )
         out = []
         for row in self._rows:
             for key, want in predicates.items():
@@ -151,6 +161,50 @@ class Table:
     def column(self, name: str) -> list[Any]:
         """The values of one column, skipping rows that lack it."""
         return [row[name] for row in self._rows if name in row]
+
+    def group_reduce(
+        self,
+        by: str | Iterable[str],
+        reduce: Any,
+        *,
+        exclude: Iterable[str] = (),
+    ) -> Table:
+        """Collapse rows sharing the ``by`` columns into one row per group.
+
+        Groups keep first-seen order and every row must carry all ``by``
+        columns (a missing key column raises ``KeyError``).  For each
+        remaining column, ``reduce(column, values)`` — ``values`` being
+        the group's cells in row order, sparse cells skipped — returns a
+        mapping of derived cells merged into the group's row (or a bare
+        scalar, kept under the column's own name).  Columns in
+        ``exclude`` are dropped.
+        """
+        keys = [by] if isinstance(by, str) else list(by)
+        if not keys:
+            raise ValueError("group_reduce needs at least one key column")
+        dropped = set(exclude)
+        groups: dict[tuple, list[Row]] = {}
+        for row in self._rows:
+            for key in keys:
+                if key not in row:
+                    raise KeyError(f"row {row!r} lacks group column {key!r}")
+            groups.setdefault(tuple(row[k] for k in keys), []).append(row)
+        out = Table()
+        for group_key, rows in groups.items():
+            cells: dict[str, Any] = dict(zip(keys, group_key))
+            columns: dict[str, list[Any]] = {}
+            for row in rows:
+                for name in row.keys():
+                    if name in cells or name in dropped:
+                        continue
+                    columns.setdefault(name, []).append(row[name])
+            for name, values in columns.items():
+                derived = reduce(name, values)
+                if not isinstance(derived, dict):
+                    derived = {name: derived}
+                cells.update(derived)
+            out.append(cells)
+        return out
 
     # -- rendering --------------------------------------------------------
     def to_text(self) -> str:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import zlib
 
-__all__ = ["KB", "MB", "GB", "seed_key"]
+__all__ = ["KB", "MB", "GB", "seed_key", "replication_seed"]
 
 KB = 1024
 MB = 1024 * KB
@@ -20,3 +20,20 @@ def seed_key(name: str) -> int:
     random stream.
     """
     return zlib.crc32(name.encode("utf-8"))
+
+
+def replication_seed(seed: int, replication: int) -> int:
+    """Base seed of replication ``replication`` of a seeded run.
+
+    Replication 0 *is* the historical single-run stream (so adding
+    replications can never shift existing golden values), and every
+    further replication offsets the seed by the crc32 name-hash of
+    ``"replication:<r>"`` — a pure function of the replication's
+    identity, never of how replications are batched, partitioned across
+    worker processes, or reordered.
+    """
+    if replication < 0:
+        raise ValueError(f"replication index must be >= 0, got {replication}")
+    if replication == 0:
+        return seed
+    return seed + seed_key(f"replication:{replication}")

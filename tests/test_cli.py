@@ -132,3 +132,42 @@ def test_run_seed_changes_output(capsys, monkeypatch):
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["run", "e99"])
+
+
+def test_run_e2_replications_emits_ci_columns(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LADDER", "192")
+    assert main(["run", "e2", "--replications", "3", "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert all(row["replications"] == 3 for row in rows)
+    for suffix in ("", "_std", "_cv", "_p95", "_ci_lo", "_ci_hi"):
+        assert all(f"io_mean_s{suffix}" in row for row in rows), suffix
+    assert all(row["io_mean_s_ci_lo"] <= row["io_mean_s"] <= row["io_mean_s_ci_hi"] for row in rows)
+
+
+def test_run_e2_replications_env_and_flag_agree(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LADDER", "192")
+    assert main(["run", "e2", "--replications", "2", "--format", "csv"]) == 0
+    by_flag = capsys.readouterr().out
+    monkeypatch.setenv("REPRO_REPLICATIONS", "2")
+    assert main(["run", "e2", "--format", "csv"]) == 0
+    assert capsys.readouterr().out == by_flag
+
+
+def test_run_e1_replications_bit_identical_across_jobs(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_LADDER", "96,192")
+    assert main(["run", "e1", "--replications", "2", "--jobs", "1", "--format", "csv"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["run", "e1", "--replications", "2", "--jobs", "4", "--format", "csv"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_run_e2_replications_bit_identical_across_jobs(capsys, monkeypatch):
+    # The acceptance criterion verbatim: e2 with replications must not
+    # change a bit between REPRO_JOBS=1 and REPRO_JOBS=4.
+    monkeypatch.setenv("REPRO_LADDER", "192")
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert main(["run", "e2", "--replications", "3", "--format", "csv"]) == 0
+    serial = capsys.readouterr().out
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert main(["run", "e2", "--replications", "3", "--format", "csv"]) == 0
+    assert capsys.readouterr().out == serial

@@ -1,11 +1,20 @@
-"""Perf guard: the vectorized backend must not be slower than the reference.
+"""Perf guards for the engine's fast paths.
 
-The guard replays the most demanding default-ladder workload — a
-2304-rank file-per-process create storm plus a dedicated-core flush —
-through both backends and fails if the vectorized solver loses.  The
-expected gap is ≥5x (the engine refactor's acceptance criterion at the
-9216-rank full scale), so asserting "not slower" leaves generous margin
-for noisy CI machines.
+* The vectorized backend must not be slower than the reference.  The
+  guard replays the most demanding default-ladder workload — a 2304-rank
+  file-per-process create storm plus a dedicated-core flush — through
+  both backends and fails if the vectorized solver loses.  The expected
+  gap is ≥5x (the engine refactor's acceptance criterion at the
+  9216-rank full scale), so asserting "not slower" leaves generous
+  margin for noisy CI machines.
+* The batched multi-replication path must beat per-replication solving.
+  On E2's full-scale workload (30 replications x 5 iterations of the
+  2304-rank create storm under interference), stacking every
+  replication's batches into one :func:`~repro.engine.solve_many` call
+  must be at least 3x faster than the serial loop of per-batch solves
+  (measured ~5x), and the end-to-end replication driver must beat the
+  serial ``run_iteration`` loop (measured ~3x; asserted at 1.5x to
+  absorb CI noise).
 """
 
 from __future__ import annotations
@@ -14,10 +23,16 @@ import time
 
 import numpy as np
 
-from repro.engine import KRAKEN, RequestBatch, solve
+from repro.engine import KRAKEN, RequestBatch, solve, solve_many
+from repro.experiments._driver import DEFAULT_INTERFERENCE
+from repro.io_models import resolve_approach
+from repro.stats import run_replications
+from repro.stats.replication import replication_rng
 from repro.util import MB
 
 RANKS = 2304
+E2_REPLICATIONS = 30
+E2_ITERATIONS = 5
 
 
 def _workloads():
@@ -63,4 +78,83 @@ def test_vectorized_not_slower_than_reference():
     assert vec <= ref, (
         f"vectorized backend ({vec * 1000:.1f} ms) slower than "
         f"reference ({ref * 1000:.1f} ms) on the {RANKS}-rank workload"
+    )
+
+
+def _e2_prepared_storm():
+    """E2's full-scale create-storm cells, prepared for every replication."""
+    approach = resolve_approach("file-per-process")
+    prepared = []
+    for replication in range(E2_REPLICATIONS):
+        rng = replication_rng(0, RANKS, approach, replication)
+        for _ in range(E2_ITERATIONS):
+            prepared.append(
+                approach.prepare_iteration(KRAKEN, RANKS, 45 * MB, rng, DEFAULT_INTERFERENCE)
+            )
+    return [p.batch for p in prepared], [p.background for p in prepared]
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_batched_replication_solve_beats_serial_loop_3x():
+    """Stacked solve_many >= 3x faster than the per-replication solve loop.
+
+    This is the engine-level acceptance criterion of the batched
+    replication path: R replications' request batches solved in one
+    numpy call instead of R x iterations Python-looped solves, on E2's
+    full-scale workload.  Measured gap ~5x; 3x leaves noise margin.
+    """
+    batches, backgrounds = _e2_prepared_storm()
+
+    def serial():
+        for batch, background in zip(batches, backgrounds):
+            solve(KRAKEN, batch, background=background, large_writes=False)
+
+    def batched():
+        solve_many(KRAKEN, batches, backgrounds=backgrounds, large_writes=False)
+
+    serial()  # warm allocator and sort buffers
+    batched()
+    serial_s = _best_of(serial)
+    batched_s = _best_of(batched)
+    assert batched_s * 3 <= serial_s, (
+        f"batched replication solve ({batched_s * 1000:.1f} ms) not 3x faster than "
+        f"the serial per-replication loop ({serial_s * 1000:.1f} ms) on full-scale E2"
+    )
+
+
+def test_batched_replication_driver_beats_serial():
+    """End to end, run_replications(batched=True) must beat the serial loop.
+
+    Covers all three E2 approaches at full scale, rng and finalize
+    included.  Measured gap ~3x; asserted at 1.5x so CI noise in the
+    non-solver portions (shared rng draws) cannot flake the build.
+    """
+    kwargs = dict(
+        machine=KRAKEN,
+        ranks=RANKS,
+        iterations=E2_ITERATIONS,
+        data_per_rank=45 * MB,
+        seed=0,
+        replications=E2_REPLICATIONS,
+        interference=DEFAULT_INTERFERENCE,
+    )
+
+    def run(batched: bool) -> None:
+        for approach in ("file-per-process", "collective", "damaris"):
+            run_replications(approach, batched=batched, **kwargs)
+
+    run(True)  # warm
+    batched_s = _best_of(lambda: run(True), repeats=2)
+    serial_s = _best_of(lambda: run(False), repeats=2)
+    assert batched_s * 1.5 <= serial_s, (
+        f"batched replication driver ({batched_s * 1000:.1f} ms) not 1.5x faster "
+        f"than the serial per-replication loop ({serial_s * 1000:.1f} ms)"
     )

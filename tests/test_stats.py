@@ -1,0 +1,275 @@
+"""Unit tests for the repro.stats subsystem.
+
+Covers the bootstrap CI, the replication seeding scheme, the batched
+replication driver's exact equivalence with serial per-replication
+solving (and with the reference backend as ground truth), and the
+table-reduction layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import KRAKEN, RequestBatch, solve, solve_many
+from repro.experiments._driver import DEFAULT_INTERFERENCE, cell_rng, run_iterations
+from repro.io_models import resolve_approach
+from repro.stats import (
+    bootstrap_ci,
+    reduce_replications,
+    replication_rng,
+    replication_seed,
+    run_replications,
+)
+from repro.table import Table
+from repro.util import MB
+
+_CELL = dict(machine=KRAKEN, ranks=288, iterations=3, data_per_rank=45 * MB, seed=4)
+
+
+def _results_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.visible_times, b.visible_times)
+        and a.backend_wall_s == b.backend_wall_s
+        and a.backend_busy_s == b.backend_busy_s
+        and a.bytes_written == b.bytes_written
+        and a.files_created == b.files_created
+    )
+
+
+# -- replication seeding ---------------------------------------------------
+
+
+def test_replication_zero_is_the_base_seed():
+    assert replication_seed(7, 0) == 7
+
+
+def test_replication_seeds_are_distinct_and_stable():
+    seeds = [replication_seed(0, r) for r in range(64)]
+    assert len(set(seeds)) == 64
+    assert seeds == [replication_seed(0, r) for r in range(64)]
+    with pytest.raises(ValueError):
+        replication_seed(0, -1)
+
+
+def test_replication_rng_zero_matches_cell_rng():
+    a = replication_rng(3, 576, "damaris", 0).random(4)
+    b = cell_rng(3, 576, "damaris").random(4)
+    np.testing.assert_array_equal(a, b)
+    c = replication_rng(3, 576, "damaris", 1).random(4)
+    assert not np.array_equal(a, c)
+
+
+# -- the replication driver ------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "approach", ["file-per-process", "collective", "damaris", "dedicated-nodes"]
+)
+def test_batched_replications_bit_identical_to_serial(approach):
+    serial = run_replications(
+        approach, replications=4, interference=DEFAULT_INTERFERENCE, batched=False, **_CELL
+    )
+    batched = run_replications(
+        approach, replications=4, interference=DEFAULT_INTERFERENCE, batched=True, **_CELL
+    )
+    assert len(serial) == len(batched) == 4
+    for rep_serial, rep_batched in zip(serial, batched):
+        assert len(rep_serial) == len(rep_batched) == _CELL["iterations"]
+        for a, b in zip(rep_serial, rep_batched):
+            assert _results_equal(a, b)
+
+
+def test_replication_zero_is_the_historical_stream():
+    approach = resolve_approach("damaris")
+    historical = run_iterations(
+        approach,
+        KRAKEN,
+        _CELL["ranks"],
+        _CELL["iterations"],
+        _CELL["data_per_rank"],
+        cell_rng(_CELL["seed"], _CELL["ranks"], approach),
+        DEFAULT_INTERFERENCE,
+    )
+    replicated = run_replications(
+        approach, replications=2, interference=DEFAULT_INTERFERENCE, **_CELL
+    )
+    for a, b in zip(historical, replicated[0]):
+        assert _results_equal(a, b)
+
+
+def test_replications_are_independent_of_count():
+    # Replication r's results depend only on (seed, r), never on how many
+    # replications run alongside — the property that makes partitioning free.
+    few = run_replications("file-per-process", replications=2, **_CELL)
+    many = run_replications("file-per-process", replications=5, **_CELL)
+    for rep_few, rep_many in zip(few, many):
+        for a, b in zip(rep_few, rep_many):
+            assert _results_equal(a, b)
+
+
+def test_run_replications_validates_inputs():
+    with pytest.raises(ValueError):
+        run_replications("damaris", replications=0, **_CELL)
+    with pytest.raises(ValueError):
+        run_replications(
+            "damaris", KRAKEN, 288, 0, 45 * MB, 0, 2
+        )
+
+
+# -- solve_many ------------------------------------------------------------
+
+
+def test_solve_many_matches_per_batch_solving_on_both_backends():
+    rng = np.random.default_rng(11)
+    batches = [
+        RequestBatch(
+            arrival=rng.uniform(0.0, 10.0, 200),
+            ost=rng.integers(0, KRAKEN.ost_count, 200),
+            nbytes=rng.uniform(MB, 90 * MB, 200),
+        )
+        for _ in range(6)
+    ]
+    backgrounds = [rng.poisson(1.2, KRAKEN.ost_count).astype(float), None] * 3
+    for backend in ("vectorized", "reference"):
+        stacked = solve_many(
+            KRAKEN, batches, backgrounds=backgrounds, large_writes=False, backend=backend
+        )
+        for batch, background, done in zip(batches, backgrounds, stacked):
+            alone = solve(
+                KRAKEN, batch, background=background, large_writes=False, backend=backend
+            )
+            np.testing.assert_array_equal(done, alone)
+
+
+def test_solve_many_vectorized_agrees_with_reference_ground_truth():
+    # The reference backend stays the per-replication ground truth: the
+    # batched vectorized stack must reproduce R independent reference solves.
+    approach = resolve_approach("file-per-process")
+    prepared = [
+        approach.prepare_iteration(
+            KRAKEN, 576, 45 * MB, replication_rng(0, 576, approach, r), DEFAULT_INTERFERENCE
+        )
+        for r in range(3)
+    ]
+    batched = solve_many(
+        KRAKEN,
+        [p.batch for p in prepared],
+        backgrounds=[p.background for p in prepared],
+        large_writes=False,
+    )
+    for p, done in zip(prepared, batched):
+        truth = solve(
+            KRAKEN, p.batch, background=p.background, large_writes=False, backend="reference"
+        )
+        np.testing.assert_allclose(done, truth, rtol=1e-9, atol=1e-6)
+
+
+def test_solve_many_edge_cases():
+    assert solve_many(KRAKEN, [], large_writes=True) == []
+    empty = RequestBatch(np.empty(0), np.empty(0, dtype=np.int64), np.empty(0))
+    one = RequestBatch(0.0, 3, 45 * MB)
+    done = solve_many(KRAKEN, [empty, one], large_writes=True)
+    assert done[0].size == 0 and done[1].size == 1
+    with pytest.raises(ValueError, match="backgrounds"):
+        solve_many(KRAKEN, [one], backgrounds=[None, None], large_writes=True)
+    with pytest.raises(ValueError, match="shape"):
+        solve_many(KRAKEN, [one], backgrounds=[np.zeros(3)], large_writes=True)
+
+
+# -- bootstrap -------------------------------------------------------------
+
+
+def test_bootstrap_ci_is_deterministic_and_ordered():
+    samples = np.random.default_rng(0).normal(10.0, 2.0, 30)
+    lo1, hi1 = bootstrap_ci(samples, key="io_mean_s")
+    lo2, hi2 = bootstrap_ci(samples, key="io_mean_s")
+    assert (lo1, hi1) == (lo2, hi2)
+    assert lo1 < samples.mean() < hi1
+    # Another column key draws an independent resampling stream.
+    assert bootstrap_ci(samples, key="other") != (lo1, hi1)
+
+
+def test_bootstrap_ci_narrows_with_confidence_and_samples():
+    rng = np.random.default_rng(1)
+    samples = rng.normal(5.0, 1.0, 40)
+    lo90, hi90 = bootstrap_ci(samples, confidence=0.90, key="x")
+    lo99, hi99 = bootstrap_ci(samples, confidence=0.99, key="x")
+    assert hi90 - lo90 < hi99 - lo99
+
+
+def test_bootstrap_ci_degenerate_and_invalid():
+    assert bootstrap_ci([4.2]) == (4.2, 4.2)
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=1.5)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], resamples=0)
+
+
+# -- table reduction -------------------------------------------------------
+
+
+def _replicated_table() -> Table:
+    rng = np.random.default_rng(2)
+    table = Table()
+    for approach, base in (("damaris", 0.07), ("collective", 120.0)):
+        for replication in range(8):
+            table.append(
+                approach=approach,
+                ranks=1152,
+                files_created=5,
+                io_mean_s=float(base * rng.lognormal(0.0, 0.05)),
+                replication=replication,
+            )
+    return table
+
+
+def test_reduce_replications_produces_ci_family():
+    reduced = reduce_replications(_replicated_table(), ("approach", "ranks"))
+    assert len(reduced) == 2
+    row = reduced.where(approach="damaris")[0]
+    assert row["replications"] == 8
+    for suffix in ("", "_std", "_cv", "_p95", "_ci_lo", "_ci_hi"):
+        assert f"io_mean_s{suffix}" in row, suffix
+    assert row["io_mean_s_ci_lo"] <= row["io_mean_s"] <= row["io_mean_s_ci_hi"]
+    assert row["io_mean_s_cv"] == pytest.approx(
+        row["io_mean_s_std"] / row["io_mean_s"], rel=1e-12
+    )
+    # Constant metadata is carried, the replication index is dropped.
+    assert row["files_created"] == 5
+    assert "replication" not in row
+
+
+def test_reduce_replications_is_deterministic():
+    a = reduce_replications(_replicated_table(), ("approach", "ranks"))
+    b = reduce_replications(_replicated_table(), ("approach", "ranks"))
+    assert [r.as_dict() for r in a] == [r.as_dict() for r in b]
+
+
+def test_reduce_drops_varying_non_float_columns():
+    table = Table(
+        [
+            {"cell": "a", "note": "x", "v": 1.0, "replication": 0},
+            {"cell": "a", "note": "y", "v": 2.0, "replication": 1},
+        ]
+    )
+    row = reduce_replications(table, "cell")[0]
+    assert "note" not in row
+    assert row["v"] == pytest.approx(1.5)
+
+
+def test_reduce_replications_count_ignores_sparse_columns():
+    # Regression: a column only some replications emit must not understate
+    # the group's replication count (it is the row count, not the sparse
+    # column's value count).
+    table = Table(
+        [
+            {"cell": "a", "x": 1.0, "extra": 5.0, "replication": 0},
+            {"cell": "a", "x": 2.0, "replication": 1},
+            {"cell": "a", "x": 3.0, "replication": 2},
+        ]
+    )
+    row = reduce_replications(table, "cell")[0]
+    assert row["replications"] == 3
+    assert row["x"] == pytest.approx(2.0)
+    assert row["extra"] == pytest.approx(5.0)
