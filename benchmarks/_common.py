@@ -3,7 +3,12 @@
 The environment parsing lives in :meth:`repro.scenario.ScenarioConfig.from_env`;
 this module only re-exposes it in the shapes the benchmarks consume
 (``scenario()``, ``full_scale()``, ``default_ladder()``) so every module
-reads the same frozen configuration.
+reads the same frozen configuration.  Timing, when a module wants it,
+comes from the shared :mod:`repro.bench` harness — never a bespoke
+``time.perf_counter`` loop — so every number in this repo is reduced the
+same way (warmup + best-of-N; see DESIGN.md, "Benchmarking").  The
+fallback ``benchmark`` fixture in ``conftest.py`` already routes through
+:func:`repro.bench.time_once`.
 """
 
 from __future__ import annotations

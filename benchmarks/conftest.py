@@ -6,15 +6,24 @@ data volume, seed, engine backend, sweep parallelism — comes from the
 frozen :class:`repro.scenario.ScenarioConfig` that ``_common.scenario()``
 parses from the ``REPRO_*`` environment; ``REPRO_FULL_SCALE=1`` adds the
 paper's full 9216-rank Kraken points (slower).
+
+Wall-clock numbers for CI live in ``repro.bench`` (``python -m repro
+bench``); these modules are about the experiment *tables*.  The fallback
+``benchmark`` fixture used when pytest-benchmark is absent therefore
+runs the target once — but through the same :func:`repro.bench.time_once`
+clock as the bench harness, so even ad-hoc timings printed here are
+measured identically.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.bench import time_once
 
-class _NoOpBenchmark:
-    """Stand-in for the pytest-benchmark fixture: run the target once."""
+
+class _HarnessBenchmark:
+    """Stand-in for the pytest-benchmark fixture: one timed run via repro.bench."""
 
     def pedantic(self, target, args=(), kwargs=None, *, setup=None, **_options):
         # Mirror benchmark.pedantic's interface: an optional setup() may
@@ -28,16 +37,19 @@ class _NoOpBenchmark:
                         "Can't use `args` or `kwargs` if `setup` returns the arguments."
                     )
                 args, kwargs = produced
-        return target(*args, **(kwargs or {}))
+        return self(target, *args, **(kwargs or {}))
 
     def __call__(self, target, *args, **kwargs):
-        return target(*args, **kwargs)
+        seconds, value = time_once(lambda: target(*args, **kwargs))
+        name = getattr(target, "__name__", repr(target))
+        print(f"[repro.bench] {name}: {seconds * 1000:.1f} ms")
+        return value
 
 
 class _FallbackBenchmarkPlugin:
     @pytest.fixture
     def benchmark(self):
-        return _NoOpBenchmark()
+        return _HarnessBenchmark()
 
 
 def pytest_configure(config):

@@ -17,6 +17,9 @@ post-processes and writes it asynchronously.  The layers, bottom up:
 * :mod:`repro.experiments` — one runner per experiment (the paper's
   E1-E8 plus the cross-application interference sweep E9), swept
   serially or across a process pool.
+* :mod:`repro.bench` — the benchmark registry, warmup + best-of-N
+  timing harness, and versioned ``BENCH_<sha>.json`` results that track
+  the solvers' wall-clock trajectory (``python -m repro bench``).
 
 ``python -m repro run e1 --machine kraken --full-scale`` drives any
 experiment from the command line.

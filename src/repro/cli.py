@@ -10,6 +10,8 @@ Examples::
     python -m repro machines
     python -m repro approaches
     python -m repro workloads
+    python -m repro bench --filter micro --json out.json
+    python -m repro bench --baseline benchmarks/baseline.json --max-regression 25
 
 ``run`` builds a :class:`~repro.scenario.ScenarioConfig` from the flags
 (environment variables fill whatever the flags leave out), executes the
@@ -26,6 +28,7 @@ import tempfile
 from collections.abc import Callable, Sequence
 
 from . import experiments
+from .bench.cli import add_bench_parser, run_bench
 from .engine import (
     backend_names,
     machine_names,
@@ -217,6 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines", help="list registered machines")
     sub.add_parser("approaches", help="list registered I/O approaches")
     sub.add_parser("workloads", help="list registered arrival processes + workload spec syntax")
+    add_bench_parser(sub)
     return parser
 
 
@@ -282,6 +286,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("workload spec (REPRO_WORKLOAD / --workload):")
         print("  app=background,ranks=1152,data_mb=45,arrival=burst,approach=file-per-process")
         return 0
+    if args.command == "bench":
+        return run_bench(args)
 
     scenario = _scenario_from_args(args)
     if scenario.backend is not None:

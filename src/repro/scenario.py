@@ -23,6 +23,10 @@ Environment variables recognised by :meth:`ScenarioConfig.from_env`:
 ``REPRO_WORKLOAD``        background workload spec for E9
                           (``app=bg,ranks=1152,data_mb=45,arrival=burst,...``)
 ``REPRO_TRACE``           directory E9 records request traces into (JSONL)
+``REPRO_PERF_STRICT``     ``0`` downgrades perf-ratio assertion failures to
+                          warnings (noisy shared runners; default strict —
+                          consumed by :mod:`repro.bench.timing`, not stored
+                          on the scenario)
 ========================  =====================================================
 """
 
@@ -33,7 +37,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 from .engine import Interference, Machine, backend_names, resolve_machine
-from .util import MB
+from .util import MB, env_flag
 from .workloads import Workload
 
 __all__ = ["ScenarioConfig", "DEFAULT_LADDER", "FULL_SCALE_RANKS"]
@@ -42,13 +46,6 @@ __all__ = ["ScenarioConfig", "DEFAULT_LADDER", "FULL_SCALE_RANKS"]
 DEFAULT_LADDER: tuple[int, ...] = (576, 1152, 2304)
 #: The paper's largest Kraken configuration.
 FULL_SCALE_RANKS = 9216
-
-_TRUTHY_OFF = ("0", "", "false", "no", "off", "n")
-
-
-def _env_flag(env: Mapping[str, str], name: str) -> bool:
-    return env.get(name, "0").lower() not in _TRUTHY_OFF
-
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -102,7 +99,7 @@ class ScenarioConfig:
         """Build a scenario from ``REPRO_*`` environment variables."""
         if env is None:
             env = os.environ
-        full_scale = _env_flag(env, "REPRO_FULL_SCALE")
+        full_scale = env_flag(env, "REPRO_FULL_SCALE")
         if "REPRO_LADDER" in env and env["REPRO_LADDER"].strip():
             ladder = tuple(int(part) for part in env["REPRO_LADDER"].split(",") if part.strip())
         else:

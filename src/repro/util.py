@@ -3,12 +3,29 @@
 from __future__ import annotations
 
 import zlib
+from collections.abc import Mapping
 
-__all__ = ["KB", "MB", "GB", "seed_key", "replication_seed"]
+__all__ = ["KB", "MB", "GB", "env_flag", "seed_key", "replication_seed"]
 
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
+
+#: Spellings that turn a ``REPRO_*`` boolean flag off.
+FALSY_FLAGS = ("0", "", "false", "no", "off", "n")
+
+
+def env_flag(env: Mapping[str, str], name: str, *, default: bool = False) -> bool:
+    """Parse the boolean environment flag ``name``.
+
+    An unset variable yields ``default``; a set one is false only for the
+    :data:`FALSY_FLAGS` spellings (case-insensitive), so ``REPRO_X=off``
+    and ``REPRO_X=n`` disable exactly like ``REPRO_X=0``.
+    """
+    value = env.get(name)
+    if value is None:
+        return default
+    return value.lower() not in FALSY_FLAGS
 
 
 def seed_key(name: str) -> int:

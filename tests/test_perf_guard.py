@@ -1,106 +1,41 @@
-"""Perf guards for the engine's fast paths.
+"""Perf guards for the engine's fast paths, driven by ``repro.bench``.
 
-* The vectorized backend must not be slower than the reference.  The
-  guard replays the most demanding default-ladder workload — a 2304-rank
-  file-per-process create storm plus a dedicated-core flush — through
-  both backends and fails if the vectorized solver loses.  The expected
-  gap is ≥5x (the engine refactor's acceptance criterion at the
-  9216-rank full scale), so asserting "not slower" leaves generous
-  margin for noisy CI machines.
-* The batched multi-replication path must beat per-replication solving.
-  On E2's full-scale workload (30 replications x 5 iterations of the
-  2304-rank create storm under interference), stacking every
-  replication's batches into one :func:`~repro.engine.solve_many` call
-  must be at least 3x faster than the serial loop of per-batch solves
-  (measured ~5x), and the end-to-end replication driver must beat the
-  serial ``run_iteration`` loop (measured ~3x; asserted at 1.5x to
-  absorb CI noise).
+Each guard is a ratio assertion over *registered benchmarks*: the suite
+in :mod:`repro.bench.suite` pairs every fast path with the slow path it
+replaced (vectorized/reference solver, stacked/serial ``solve_many``,
+batched/serial replication driver), this module times both sides through
+the shared best-of-N harness and asserts the speedup:
+
+* vectorized solver not slower than the reference on the 2304-rank
+  create storm + flush (measured gap ≥5x at full scale);
+* stacked :func:`~repro.engine.solve_many` ≥3x the serial per-batch loop
+  on E2's 150 replication batches (measured ~5x);
+* the end-to-end batched replication driver ≥1.5x the serial
+  ``run_iteration`` loop (measured ~3x).
+
+Best-of-N timing absorbs most shared-runner noise; for runners where
+that is still not enough, ``REPRO_PERF_STRICT=0`` downgrades a failed
+ratio to a :class:`~repro.bench.PerfWarning` (the CI test matrix uses
+it; the dedicated ``bench-perf`` job stays strict).
 """
 
 from __future__ import annotations
 
-import time
+import pytest
 
-import numpy as np
-
-from repro.engine import KRAKEN, RequestBatch, solve, solve_many
-from repro.experiments._driver import DEFAULT_INTERFERENCE
-from repro.io_models import resolve_approach
-from repro.stats import run_replications
-from repro.stats.replication import replication_rng
-from repro.util import MB
-
-RANKS = 2304
-E2_REPLICATIONS = 30
-E2_ITERATIONS = 5
+from repro.bench import PerfWarning, assert_speedup, measure, resolve_benchmark
 
 
-def _workloads():
-    rng = np.random.default_rng(0)
-    create_storm = RequestBatch(
-        arrival=np.sort(rng.uniform(0.0, RANKS / KRAKEN.metadata_rate, RANKS)),
-        ost=rng.permutation(RANKS) % KRAKEN.ost_count,
-        nbytes=45 * MB,
-    )
-    nodes = KRAKEN.nodes_for(RANKS)
-    flush = RequestBatch(
-        arrival=0.0,
-        ost=rng.permutation(nodes) % KRAKEN.ost_count,
-        nbytes=11 * 45 * MB,
-    )
-    background = rng.poisson(1.2, KRAKEN.ost_count).astype(float)
-    return [(create_storm, False), (flush, True)], background
-
-
-def _time_backend(backend: str, workloads, background, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for batch, large_writes in workloads:
-            solve(
-                KRAKEN,
-                batch,
-                background=background,
-                large_writes=large_writes,
-                backend=backend,
-            )
-        best = min(best, time.perf_counter() - start)
-    return best
+def _best(name: str, repeats: int = 3) -> float:
+    """Best-of-``repeats`` seconds of a registered benchmark's timed run."""
+    run, _work = resolve_benchmark(name).prepare()
+    return measure(run, repeats=repeats, warmup=1).best
 
 
 def test_vectorized_not_slower_than_reference():
-    workloads, background = _workloads()
-    # Warm both paths (allocator, lazy imports) before timing.
-    _time_backend("vectorized", workloads, background, repeats=1)
-    _time_backend("reference", workloads, background, repeats=1)
-    vec = _time_backend("vectorized", workloads, background)
-    ref = _time_backend("reference", workloads, background)
-    assert vec <= ref, (
-        f"vectorized backend ({vec * 1000:.1f} ms) slower than "
-        f"reference ({ref * 1000:.1f} ms) on the {RANKS}-rank workload"
-    )
-
-
-def _e2_prepared_storm():
-    """E2's full-scale create-storm cells, prepared for every replication."""
-    approach = resolve_approach("file-per-process")
-    prepared = []
-    for replication in range(E2_REPLICATIONS):
-        rng = replication_rng(0, RANKS, approach, replication)
-        for _ in range(E2_ITERATIONS):
-            prepared.append(
-                approach.prepare_iteration(KRAKEN, RANKS, 45 * MB, rng, DEFAULT_INTERFERENCE)
-            )
-    return [p.batch for p in prepared], [p.background for p in prepared]
-
-
-def _best_of(fn, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+    vec = _best("micro.solve.vectorized")
+    ref = _best("micro.solve.reference")
+    assert_speedup(vec, ref, ratio=1.0, label="vectorized vs reference solver")
 
 
 def test_batched_replication_solve_beats_serial_loop_3x():
@@ -111,50 +46,32 @@ def test_batched_replication_solve_beats_serial_loop_3x():
     numpy call instead of R x iterations Python-looped solves, on E2's
     full-scale workload.  Measured gap ~5x; 3x leaves noise margin.
     """
-    batches, backgrounds = _e2_prepared_storm()
-
-    def serial():
-        for batch, background in zip(batches, backgrounds):
-            solve(KRAKEN, batch, background=background, large_writes=False)
-
-    def batched():
-        solve_many(KRAKEN, batches, backgrounds=backgrounds, large_writes=False)
-
-    serial()  # warm allocator and sort buffers
-    batched()
-    serial_s = _best_of(serial)
-    batched_s = _best_of(batched)
-    assert batched_s * 3 <= serial_s, (
-        f"batched replication solve ({batched_s * 1000:.1f} ms) not 3x faster than "
-        f"the serial per-replication loop ({serial_s * 1000:.1f} ms) on full-scale E2"
-    )
+    batched = _best("micro.solve_many.stacked")
+    serial = _best("micro.solve_many.serial")
+    assert_speedup(batched, serial, ratio=3.0, label="stacked solve_many vs serial loop")
 
 
 def test_batched_replication_driver_beats_serial():
-    """End to end, run_replications(batched=True) must beat the serial loop.
+    """End to end, the batched replication driver must beat the serial loop.
 
     Covers all three E2 approaches at full scale, rng and finalize
-    included.  Measured gap ~3x; asserted at 1.5x so CI noise in the
+    included.  Measured gap ~3x; asserted at 1.5x so noise in the
     non-solver portions (shared rng draws) cannot flake the build.
     """
-    kwargs = dict(
-        machine=KRAKEN,
-        ranks=RANKS,
-        iterations=E2_ITERATIONS,
-        data_per_rank=45 * MB,
-        seed=0,
-        replications=E2_REPLICATIONS,
-        interference=DEFAULT_INTERFERENCE,
-    )
+    batched = _best("micro.replication.driver_batched", repeats=2)
+    serial = _best("micro.replication.driver_serial", repeats=2)
+    assert_speedup(batched, serial, ratio=1.5, label="batched vs serial replication driver")
 
-    def run(batched: bool) -> None:
-        for approach in ("file-per-process", "collective", "damaris"):
-            run_replications(approach, batched=batched, **kwargs)
 
-    run(True)  # warm
-    batched_s = _best_of(lambda: run(True), repeats=2)
-    serial_s = _best_of(lambda: run(False), repeats=2)
-    assert batched_s * 1.5 <= serial_s, (
-        f"batched replication driver ({batched_s * 1000:.1f} ms) not 1.5x faster "
-        f"than the serial per-replication loop ({serial_s * 1000:.1f} ms)"
-    )
+def test_perf_strict_escape_hatch_downgrades_to_warning(monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_STRICT", "0")
+    with pytest.warns(PerfWarning, match="escape-hatch demo"):
+        assert_speedup(2.0, 1.0, ratio=1.0, label="escape-hatch demo")
+
+
+def test_perf_strict_default_raises(monkeypatch):
+    monkeypatch.delenv("REPRO_PERF_STRICT", raising=False)
+    with pytest.raises(AssertionError, match="strict demo"):
+        assert_speedup(2.0, 1.0, ratio=1.0, label="strict demo")
+    # A passing expectation is silent either way.
+    assert_speedup(1.0, 3.5, ratio=3.0, label="strict demo")
