@@ -1,0 +1,59 @@
+"""repro.analyze — static enforcement of the reproducibility contract.
+
+Every guarantee the package advertises — bit-identical ``REPRO_JOBS``
+sweeps, crc32 name-hash rng streams that survive reordering, reference-
+vs-vectorized engine equivalence — holds only as long as nobody writes an
+unseeded rng, a wall-clock read or an order-unstable iteration into the
+deterministic core.  The tests enforce this *dynamically*, on the paths
+they happen to exercise; this package enforces it *statically*, on every
+path, before any test runs:
+
+* :mod:`repro.analyze.rules` — the rule registry (DET001-DET004 for
+  determinism, INV001-INV004 for structural invariants), mirroring the
+  bench/approach registry idiom.
+* :mod:`repro.analyze.checks` — the per-file AST checks and the
+  ``# repro: allow[rule-id]`` suppression comments.
+* :mod:`repro.analyze.project` — whole-project invariants checked
+  against the live registries (docstrings in listings, backend
+  cross-validation).
+* :mod:`repro.analyze.report` — the tree driver and the versioned
+  ``ANALYZE.json`` findings document (the bench results idiom).
+* :mod:`repro.analyze.cli` — ``python -m repro analyze``.
+"""
+
+from .checks import FILE_RULE_IDS, check_source, suppressed_lines
+from .project import PROJECT_RULE_IDS, check_project
+from .report import (
+    SCHEMA_VERSION,
+    AnalysisReport,
+    analyze_tree,
+    file_scope,
+    load_document,
+    results_document,
+    validate_document,
+    write_document,
+)
+from .rules import SCOPES, Finding, Rule, register_rule, resolve_rule, rule_ids, rules
+
+__all__ = [
+    "AnalysisReport",
+    "FILE_RULE_IDS",
+    "Finding",
+    "PROJECT_RULE_IDS",
+    "Rule",
+    "SCHEMA_VERSION",
+    "SCOPES",
+    "analyze_tree",
+    "check_project",
+    "check_source",
+    "file_scope",
+    "load_document",
+    "register_rule",
+    "resolve_rule",
+    "results_document",
+    "rule_ids",
+    "rules",
+    "suppressed_lines",
+    "validate_document",
+    "write_document",
+]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Mapping, Sequence
+from typing import Any, cast
 
 from ..table import Table
 from .registry import KINDS, select_benchmarks
@@ -31,7 +33,7 @@ __all__ = ["add_bench_parser", "run_bench"]
 _AUTO_JSON = "<auto>"
 
 
-def add_bench_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+def add_bench_parser(sub: "argparse._SubParsersAction[Any]") -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="run the benchmark suite; write JSON results; gate against a baseline",
@@ -80,7 +82,7 @@ def add_bench_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser
     return bench
 
 
-def _measurement_table(records) -> Table:
+def _measurement_table(records: "Sequence[Mapping[str, Any]]") -> Table:
     table = Table()
     for record in records:
         timing = record["timing"]
@@ -119,17 +121,17 @@ def run_bench(args: argparse.Namespace) -> int:
             print(f"cannot load baseline {args.baseline}: {error}", file=sys.stderr)
             return 2
 
-    records = []
+    records: list[dict[str, object]] = []
     for bench in benchmarks:
         run, work = bench.prepare()
         timing = measure(run, repeats=args.repeats, warmup=args.warmup)
         records.append(result_record(bench, timing, work))
     doc = results_document(records)
 
-    print(_measurement_table(doc["benchmarks"]).to_text())
+    print(_measurement_table(cast("Sequence[Mapping[str, Any]]", doc["benchmarks"])).to_text())
 
     if args.json is not None:
-        path = default_results_path(doc["git_sha"]) if args.json == _AUTO_JSON else args.json
+        path = default_results_path(str(doc["git_sha"])) if args.json == _AUTO_JSON else args.json
         try:
             written = write_results(doc, path)
         except OSError as error:
@@ -144,7 +146,12 @@ def run_bench(args: argparse.Namespace) -> int:
     return _gate(doc, baseline, args.baseline, args.max_regression)
 
 
-def _gate(doc, baseline, baseline_path: str, max_regression_pct: float) -> int:
+def _gate(
+    doc: Mapping[str, object],
+    baseline: Mapping[str, object],
+    baseline_path: str,
+    max_regression_pct: float,
+) -> int:
     comparisons, only_in_baseline, only_in_current = compare_documents(
         doc, baseline, max_regression_pct=max_regression_pct
     )

@@ -48,7 +48,7 @@ class Benchmark:
     units: str = "requests"
     description: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ValueError(f"benchmark kind must be one of {KINDS}, got {self.kind!r}")
         object.__setattr__(self, "params", dict(self.params))

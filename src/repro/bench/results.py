@@ -28,6 +28,7 @@ import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, NoReturn, cast
 
 import numpy as np
 
@@ -112,14 +113,14 @@ def results_document(
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "git_sha": sha or git_sha(),
         "fingerprint": machine_fingerprint(),
-        "benchmarks": sorted(records, key=lambda r: (KINDS.index(r["kind"]), r["name"])),
+        "benchmarks": sorted(records, key=lambda r: (KINDS.index(str(r["kind"])), str(r["name"]))),
     }
 
 
 def validate_document(doc: object) -> dict[str, object]:
     """Check ``doc`` against the schema; return it, or raise ``ValueError``."""
 
-    def fail(message: str):
+    def fail(message: str) -> NoReturn:
         raise ValueError(f"invalid benchmark results document: {message}")
 
     if not isinstance(doc, Mapping):
@@ -209,8 +210,10 @@ def compare_documents(
     """
     if max_regression_pct < 0:
         raise ValueError(f"max_regression_pct must be >= 0, got {max_regression_pct}")
-    current_by = {r["name"]: r for r in current["benchmarks"]}
-    baseline_by = {r["name"]: r for r in baseline["benchmarks"]}
+    current_records = cast("Sequence[Mapping[str, Any]]", current["benchmarks"])
+    baseline_records = cast("Sequence[Mapping[str, Any]]", baseline["benchmarks"])
+    current_by = {str(r["name"]): r for r in current_records}
+    baseline_by = {str(r["name"]): r for r in baseline_records}
     comparisons = [
         Comparison(
             name=name,

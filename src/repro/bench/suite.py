@@ -25,6 +25,7 @@ from it, the requests-solved-per-second trajectory the roadmap tracks.
 from __future__ import annotations
 
 import functools
+from collections.abc import Callable
 
 import numpy as np
 
@@ -41,7 +42,7 @@ from ..io_models import resolve_approach, resolve_approaches
 from ..scenario import DEFAULT_LADDER, FULL_SCALE_RANKS
 from ..stats import run_replications
 from ..stats.replication import replication_rng
-from ..util import MB
+from ..util import MB, FloatArray
 from ..workloads import resolve_arrival_process
 from .registry import register_benchmark
 
@@ -56,7 +57,7 @@ _FULL_LADDER = DEFAULT_LADDER + (FULL_SCALE_RANKS,)
 _PAPER_APPROACHES = len(resolve_approaches(None))
 
 
-def _storm_workloads():
+def _storm_workloads() -> tuple[list[tuple[RequestBatch, bool]], FloatArray]:
     """The most demanding default-ladder workload: a 2304-rank
     file-per-process create storm plus a dedicated-core flush."""
     rng = np.random.default_rng(0)
@@ -75,10 +76,10 @@ def _storm_workloads():
     return [(create_storm, False), (flush, True)], background
 
 
-def _make_solve(backend: str):
+def _make_solve(backend: str) -> tuple[Callable[[], None], float]:
     workloads, background = _storm_workloads()
 
-    def run():
+    def run() -> None:
         for batch, large_writes in workloads:
             solve(KRAKEN, batch, background=background, large_writes=large_writes, backend=backend)
 
@@ -94,7 +95,7 @@ _SOLVE_PARAMS = {"ranks": STORM_RANKS, "machine": "kraken", "workload": "e2-crea
     params={**_SOLVE_PARAMS, "backend": "vectorized"},
     description="numpy batch solver on the 2304-rank create storm + flush",
 )
-def _bench_solve_vectorized():
+def _bench_solve_vectorized() -> tuple[Callable[[], None], float]:
     return _make_solve("vectorized")
 
 
@@ -104,12 +105,12 @@ def _bench_solve_vectorized():
     params={**_SOLVE_PARAMS, "backend": "reference"},
     description="seed event-loop solver on the same workload (ground truth)",
 )
-def _bench_solve_reference():
+def _bench_solve_reference() -> tuple[Callable[[], None], float]:
     return _make_solve("reference")
 
 
 @functools.cache
-def _e2_prepared_storm():
+def _e2_prepared_storm() -> tuple[tuple[RequestBatch, ...], tuple[FloatArray | None, ...]]:
     """E2's full-scale create-storm cells, prepared for every replication.
 
     Cached: three benchmarks (stacked/serial ``solve_many``,
@@ -144,11 +145,11 @@ _STACK_PARAMS = {
     params=_STACK_PARAMS,
     description="150 replication batches solved in one virtual-OST-axis stack",
 )
-def _bench_solve_many_stacked():
+def _bench_solve_many_stacked() -> tuple[Callable[[], None], float]:
     batches, backgrounds = _e2_prepared_storm()
     work = float(sum(len(b) for b in batches))
 
-    def run():
+    def run() -> None:
         solve_many(KRAKEN, batches, backgrounds=backgrounds, large_writes=False)
 
     return run, work
@@ -160,12 +161,12 @@ def _bench_solve_many_stacked():
     params=_STACK_PARAMS,
     description="the same 150 batches through a per-batch solve loop (baseline)",
 )
-def _bench_solve_many_serial():
+def _bench_solve_many_serial() -> tuple[Callable[[], None], float]:
     batches, backgrounds = _e2_prepared_storm()
     work = float(sum(len(b) for b in batches))
 
-    def run():
-        for batch, background in zip(batches, backgrounds):
+    def run() -> None:
+        for batch, background in zip(batches, backgrounds, strict=True):
             solve(KRAKEN, batch, background=background, large_writes=False)
 
     return run, work
@@ -177,21 +178,21 @@ def _bench_solve_many_serial():
     params=_STACK_PARAMS,
     description="merge 150 replication batches into one tagged batch",
 )
-def _bench_merge_batches():
+def _bench_merge_batches() -> tuple[Callable[[], None], float]:
     batches, _ = _e2_prepared_storm()
     work = float(sum(len(b) for b in batches))
 
-    def run():
+    def run() -> None:
         merge_batches(batches)
 
     return run, work
 
 
-def _make_arrivals(process: str, draws: int = 32):
+def _make_arrivals(process: str, draws: int = 32) -> tuple[Callable[[], None], float]:
     arrival = resolve_arrival_process(process)
     rngs = [np.random.default_rng([0, i]) for i in range(draws)]
 
-    def run():
+    def run() -> None:
         for rng in rngs:
             arrival.sample(rng, FULL_SCALE_RANKS, 120.0)
 
@@ -208,7 +209,7 @@ _ARRIVAL_PARAMS = {"ranks": FULL_SCALE_RANKS, "draws": 32, "period_s": 120.0}
     units="arrivals",
     description="poisson arrival generation at the 9216-rank scale",
 )
-def _bench_arrivals_poisson():
+def _bench_arrivals_poisson() -> tuple[Callable[[], None], float]:
     return _make_arrivals("poisson")
 
 
@@ -219,14 +220,14 @@ def _bench_arrivals_poisson():
     units="arrivals",
     description="inhomogeneous-Poisson burst arrivals (exact thinning) at 9216 ranks",
 )
-def _bench_arrivals_burst():
+def _bench_arrivals_burst() -> tuple[Callable[[], None], float]:
     return _make_arrivals("burst")
 
 
-def _make_replication_driver(batched: bool):
+def _make_replication_driver(batched: bool) -> tuple[Callable[[], None], float]:
     approaches = ("file-per-process", "collective", "damaris")
 
-    def run():
+    def run() -> None:
         for approach in approaches:
             run_replications(
                 approach,
@@ -252,7 +253,7 @@ _DRIVER_PARAMS = {**_STACK_PARAMS, "approaches": 3}
     params={**_DRIVER_PARAMS, "batched": True},
     description="end-to-end replication driver, stacked solve_many path",
 )
-def _bench_driver_batched():
+def _bench_driver_batched() -> tuple[Callable[[], None], float]:
     return _make_replication_driver(batched=True)
 
 
@@ -262,7 +263,7 @@ def _bench_driver_batched():
     params={**_DRIVER_PARAMS, "batched": False},
     description="end-to-end replication driver, serial run_iteration loop (baseline)",
 )
-def _bench_driver_serial():
+def _bench_driver_serial() -> tuple[Callable[[], None], float]:
     return _make_replication_driver(batched=False)
 
 
@@ -277,8 +278,8 @@ def _bench_driver_serial():
     params={"ladder": list(_FULL_LADDER), "iterations": 2, "approaches": _PAPER_APPROACHES},
     description="E1 weak-scaling sweep over the full ladder, the paper's comparison set",
 )
-def _bench_e1():
-    def run():
+def _bench_e1() -> tuple[Callable[[], None], float]:
+    def run() -> None:
         run_weak_scaling(scales=_FULL_LADDER, iterations=2, data_per_rank=45 * MB, seed=0)
 
     return run, float(sum(_FULL_LADDER) * 2 * _PAPER_APPROACHES)
@@ -290,8 +291,8 @@ def _bench_e1():
     params={"ranks": STORM_RANKS, "iterations": 5, "replications": 10, "interference": True},
     description="E2 variability under interference, 10 replications with CI columns",
 )
-def _bench_e2_replicated():
-    def run():
+def _bench_e2_replicated() -> tuple[Callable[[], None], float]:
+    def run() -> None:
         run_variability(ranks=STORM_RANKS, iterations=5, seed=0, replications=10)
 
     return run, float(STORM_RANKS * 5 * _PAPER_APPROACHES * 10)
@@ -303,8 +304,8 @@ def _bench_e2_replicated():
     params={"ranks": FULL_SCALE_RANKS, "iterations": 2},
     description="E3 aggregate-throughput comparison at the paper's 9216-rank scale",
 )
-def _bench_e3():
-    def run():
+def _bench_e3() -> tuple[Callable[[], None], float]:
+    def run() -> None:
         run_throughput(ranks=FULL_SCALE_RANKS, iterations=2, seed=0)
 
     return run, float(FULL_SCALE_RANKS * 2 * _PAPER_APPROACHES)
@@ -316,8 +317,8 @@ def _bench_e3():
     params={"ladder": list(_FULL_LADDER), "iterations": 3},
     description="E4 dedicated-core idle time over the full ladder",
 )
-def _bench_e4():
-    def run():
+def _bench_e4() -> tuple[Callable[[], None], float]:
+    def run() -> None:
         run_spare_time(scales=_FULL_LADDER, iterations=3, seed=0)
 
     return run, float(sum(_FULL_LADDER) * 3)
@@ -329,8 +330,8 @@ def _bench_e4():
     params={"ranks": STORM_RANKS, "iterations": 4, "intensities": 3},
     description="E9 cross-application interference sweep (intensity x approach)",
 )
-def _bench_e9():
-    def run():
+def _bench_e9() -> tuple[Callable[[], None], float]:
+    def run() -> None:
         run_app_interference(ranks=STORM_RANKS, iterations=4, seed=0)
 
     return run, float(STORM_RANKS * 4 * _PAPER_APPROACHES * 3)

@@ -22,7 +22,8 @@ from __future__ import annotations
 import os
 import time
 import warnings
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import cast
 from dataclasses import dataclass
 from statistics import fmean, median, stdev
 
@@ -58,7 +59,7 @@ class Timing:
     #: Untimed rounds executed before the first entry of ``times``.
     warmup: int = 0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.times:
             raise ValueError("Timing needs at least one timed round")
         object.__setattr__(self, "times", tuple(float(t) for t in self.times))
@@ -99,7 +100,8 @@ class Timing:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> Timing:
-        return cls(times=tuple(data["seconds"]), warmup=int(data["warmup"]))
+        seconds = cast("Iterable[float]", data["seconds"])
+        return cls(times=tuple(seconds), warmup=int(cast(int, data["warmup"])))
 
 
 def measure(fn: Callable[[], object], *, repeats: int = 5, warmup: int = 1) -> Timing:

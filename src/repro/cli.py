@@ -28,6 +28,7 @@ import tempfile
 from collections.abc import Callable, Sequence
 
 from . import experiments
+from .analyze.cli import add_analyze_parser, run_analyze
 from .bench.cli import add_bench_parser, run_bench
 from .engine import (
     backend_names,
@@ -221,6 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("approaches", help="list registered I/O approaches")
     sub.add_parser("workloads", help="list registered arrival processes + workload spec syntax")
     add_bench_parser(sub)
+    add_analyze_parser(sub)
     return parser
 
 
@@ -288,6 +290,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "analyze":
+        return run_analyze(args)
 
     scenario = _scenario_from_args(args)
     if scenario.backend is not None:

@@ -11,11 +11,10 @@ and tests can pin a backend with the ``backend=`` argument or the
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
 
-import numpy as np
-
+from ..util import FloatArray
 from .machines import Machine
 from .reference import solve_reference
 from .requests import RequestBatch, WriteRequest
@@ -31,7 +30,7 @@ __all__ = [
     "use_backend",
 ]
 
-Solver = Callable[[Machine, RequestBatch, "np.ndarray | None", bool], np.ndarray]
+Solver = Callable[[Machine, RequestBatch, FloatArray | None, bool], FloatArray]
 
 _BACKENDS: dict[str, Solver] = {
     "vectorized": solve_vectorized,
@@ -67,7 +66,7 @@ def set_default_backend(name: str) -> None:
 
 
 @contextmanager
-def use_backend(name: str):
+def use_backend(name: str) -> Iterator[None]:
     """Temporarily switch the default backend (tests, cross-validation)."""
     previous = _default_backend
     set_default_backend(name)
@@ -91,10 +90,10 @@ def solve(
     machine: Machine,
     batch: RequestBatch,
     *,
-    background: np.ndarray | None = None,
+    background: FloatArray | None = None,
     large_writes: bool,
     backend: str | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Completion time of every request in ``batch``, in batch order.
 
     This is the hot-path entry point: the I/O models hand over a
@@ -107,7 +106,7 @@ def simulate_writes(
     machine: Machine,
     requests: Iterable[WriteRequest] | RequestBatch,
     *,
-    background: np.ndarray | None = None,
+    background: FloatArray | None = None,
     large_writes: bool,
     backend: str | None = None,
 ) -> dict[int, float]:
@@ -122,4 +121,4 @@ def simulate_writes(
     done = solve(
         machine, requests, background=background, large_writes=large_writes, backend=backend
     )
-    return {int(tag): float(t) for tag, t in zip(requests.tag, done)}
+    return {int(tag): float(t) for tag, t in zip(requests.tag, done, strict=True)}

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..util import FloatArray
 from .api import solve
 from .machines import Machine
 from .requests import RequestBatch, merge_batches
@@ -34,10 +35,10 @@ def solve_many(
     machine: Machine,
     batches: Sequence[RequestBatch],
     *,
-    backgrounds: Sequence[np.ndarray | None] | None = None,
+    backgrounds: Sequence[FloatArray | None] | None = None,
     large_writes: bool,
     backend: str | None = None,
-) -> list[np.ndarray]:
+) -> list[FloatArray]:
     """Solve independent batches against ``machine`` in one engine call.
 
     Every batch sees its own private copy of the file system: batch ``k``
@@ -78,13 +79,13 @@ def solve_many(
 
 
 def _stack_backgrounds(
-    machine: Machine, backgrounds: Sequence[np.ndarray | None] | None, count: int
-) -> np.ndarray | None:
+    machine: Machine, backgrounds: Sequence[FloatArray | None] | None, count: int
+) -> FloatArray | None:
     """One per-virtual-OST load array for the stack (``None`` if all quiet)."""
     if backgrounds is None or all(bg is None for bg in backgrounds):
         return None
     quiet = np.zeros(machine.ost_count)
-    parts = []
+    parts: list[FloatArray] = []
     for index, bg in enumerate(backgrounds):
         if bg is None:
             parts.append(quiet)

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..util import FloatArray
 from .machines import Machine
 
 __all__ = ["Interference", "NO_INTERFERENCE"]
@@ -32,13 +33,13 @@ class Interference:
     collective_burst_probability: float = 0.25
     collective_burst_slowdown: tuple[float, float] = (2.0, 5.0)
 
-    def sample_background(self, machine: Machine, rng: np.random.Generator) -> np.ndarray:
+    def sample_background(self, machine: Machine, rng: np.random.Generator) -> FloatArray:
         """Background stream count per OST for one iteration."""
         load = rng.poisson(self.background_streams, size=machine.ost_count)
         bursts = rng.random(machine.ost_count) < self.burst_probability
         lo, hi = self.burst_streams
         load = load + bursts * rng.integers(lo, hi + 1, size=machine.ost_count)
-        return load.astype(float)
+        return load.astype(np.float64)
 
     def collective_slowdown(self, rng: np.random.Generator) -> float:
         """Multiplicative slowdown of one collective write phase."""

@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from ..util import FloatArray
 from .machines import Machine
 from .requests import RequestBatch, WriteRequest
 
@@ -22,9 +23,9 @@ __all__ = ["solve_reference"]
 def solve_reference(
     machine: Machine,
     batch: RequestBatch,
-    background: np.ndarray | None,
+    background: FloatArray | None,
     large_writes: bool,
-) -> np.ndarray:
+) -> FloatArray:
     """Completion time of every request in ``batch``, in batch order."""
     # The event loop keys its bookkeeping by tag, so feed it the batch
     # position as the tag — positions are unique even when caller tags

@@ -16,8 +16,12 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
+
+from ..util import FloatArray, IntArray
 
 __all__ = ["WriteRequest", "RequestBatch", "merge_batches", "split_by_segment"]
 
@@ -42,7 +46,18 @@ class RequestBatch:
 
     __slots__ = ("arrival", "ost", "nbytes", "tag")
 
-    def __init__(self, arrival, ost, nbytes, tag=None):
+    arrival: FloatArray
+    ost: IntArray
+    nbytes: FloatArray
+    tag: IntArray
+
+    def __init__(
+        self,
+        arrival: npt.ArrayLike,
+        ost: npt.ArrayLike,
+        nbytes: npt.ArrayLike,
+        tag: npt.ArrayLike | None = None,
+    ) -> None:
         arrival = np.atleast_1d(np.asarray(arrival, dtype=np.float64))
         ost = np.atleast_1d(np.asarray(ost, dtype=np.int64))
         nbytes = np.atleast_1d(np.asarray(nbytes, dtype=np.float64))
@@ -89,7 +104,7 @@ class RequestBatch:
         return f"RequestBatch({len(self)} requests)"
 
 
-def merge_batches(batches: Sequence[RequestBatch]) -> tuple[RequestBatch, np.ndarray]:
+def merge_batches(batches: Sequence[RequestBatch]) -> tuple[RequestBatch, IntArray]:
     """Concatenate several batches into one over the shared OSTs.
 
     Returns the merged batch (original tags preserved) plus a parallel
@@ -110,7 +125,9 @@ def merge_batches(batches: Sequence[RequestBatch]) -> tuple[RequestBatch, np.nda
     return merged, segments
 
 
-def split_by_segment(values: np.ndarray, segments: np.ndarray, count: int) -> list[np.ndarray]:
+def split_by_segment(
+    values: npt.ArrayLike, segments: npt.ArrayLike, count: int
+) -> list[npt.NDArray[Any]]:
     """Split a per-request array back into per-source arrays.
 
     ``values`` is anything aligned with a merged batch (typically the

@@ -40,6 +40,7 @@ import heapq
 
 import numpy as np
 
+from ..util import FloatArray, IntArray
 from .machines import Machine, PENALTY_CAP
 from .requests import RequestBatch
 
@@ -56,9 +57,9 @@ WIDE_MIN_GROUPS = 1024
 def solve_vectorized(
     machine: Machine,
     batch: RequestBatch,
-    background: np.ndarray | None,
+    background: FloatArray | None,
     large_writes: bool,
-) -> np.ndarray:
+) -> FloatArray:
     """Completion time of every request in ``batch``, in batch order."""
     n = len(batch)
     if n == 0:
@@ -89,7 +90,7 @@ def solve_vectorized(
     return _solve_staggered(machine.ost_bandwidth, slope, ost, arrival, batch.nbytes, bg_per_ost)
 
 
-def _per_stream_rate(bw: float, slope: float, streams):
+def _per_stream_rate(bw: float, slope: float, streams: FloatArray) -> FloatArray:
     """Rate of one stream when an OST serves ``streams`` of them (vectorized)."""
     penalty = np.minimum(1.0 + slope * np.maximum(streams - 1.0, 0.0), PENALTY_CAP)
     return bw / (streams * penalty)
@@ -98,11 +99,11 @@ def _per_stream_rate(bw: float, slope: float, streams):
 def _solve_simultaneous(
     bw: float,
     slope: float,
-    ost: np.ndarray,
+    ost: IntArray,
     t0: float,
-    nbytes: np.ndarray,
-    bg_per_ost: np.ndarray,
-) -> np.ndarray:
+    nbytes: FloatArray,
+    bg_per_ost: FloatArray,
+) -> FloatArray:
     n = ost.size
     order = np.lexsort((nbytes, ost))
     ost_sorted = ost[order]
@@ -139,11 +140,11 @@ def _solve_simultaneous(
 def _solve_staggered(
     bw: float,
     slope: float,
-    ost: np.ndarray,
-    arrival: np.ndarray,
-    nbytes: np.ndarray,
-    bg_per_ost: np.ndarray,
-) -> np.ndarray:
+    ost: IntArray,
+    arrival: FloatArray,
+    nbytes: FloatArray,
+    bg_per_ost: FloatArray,
+) -> FloatArray:
     n = ost.size
     order = np.lexsort((arrival, ost))
     ost_sorted = ost[order]
@@ -160,7 +161,7 @@ def _solve_staggered(
     positions = order.tolist()
     out = np.empty(n, dtype=np.float64)
     solve_one = _solve_one_ost_fifo if equal_sizes else _solve_one_ost
-    for start, end in zip(starts.tolist(), ends.tolist()):
+    for start, end in zip(starts.tolist(), ends.tolist(), strict=True):
         solve_one(
             bw,
             slope,
@@ -178,11 +179,11 @@ def _solve_staggered(
 def _solve_wide_fifo(
     bw: float,
     slope: float,
-    ost: np.ndarray,
-    arrival: np.ndarray,
+    ost: IntArray,
+    arrival: FloatArray,
     size: float,
-    bg_per_ost: np.ndarray,
-) -> np.ndarray:
+    bg_per_ost: FloatArray,
+) -> FloatArray:
     """All-OSTs-at-once solve of a wide equal-size staggered batch.
 
     In the checkpoint regime the equal-size writes far outlast the
@@ -285,13 +286,13 @@ def _solve_wide_fifo(
 def _solve_lockstep_fifo(
     bw: float,
     slope: float,
-    bg_per_lane: np.ndarray,
-    arr: np.ndarray,
+    bg_per_lane: FloatArray,
+    arr: FloatArray,
     size: float,
-    positions: np.ndarray,
-    starts: np.ndarray,
-    ends: np.ndarray,
-    out: np.ndarray,
+    positions: IntArray,
+    starts: IntArray,
+    ends: IntArray,
+    out: FloatArray,
 ) -> None:
     """Lockstep FIFO sweep over a subset of OST lanes.
 
@@ -349,7 +350,7 @@ def _solve_one_ost(
     positions: list[int],
     start: int,
     end: int,
-    out: np.ndarray,
+    out: FloatArray,
 ) -> None:
     """Virtual-service-time sweep of one OST's arrival-sorted requests."""
     heap: list[tuple[float, int]] = []  # (service threshold, output position)
@@ -390,7 +391,7 @@ def _solve_one_ost_fifo(
     positions: list[int],
     start: int,
     end: int,
-    out: np.ndarray,
+    out: FloatArray,
 ) -> None:
     """Equal-size variant: completions follow arrival order, no heap."""
     thresholds = [0.0] * (end - start)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -148,7 +148,20 @@ def run_replicated_approaches(
         )
 
 
-def _run_cell(args) -> tuple[int, str, list[IterationResult] | list[list[IterationResult]]]:
+def _run_cell(
+    args: tuple[
+        Machine,
+        int,
+        int,
+        float,
+        int,
+        Interference,
+        IOApproach,
+        str | None,
+        int | None,
+        bool,
+    ],
+) -> tuple[int, str, list[IterationResult] | list[list[IterationResult]]]:
     """One (scale, approach) cell of a sweep; module-level so it pickles."""
     (
         machine,
@@ -164,6 +177,7 @@ def _run_cell(args) -> tuple[int, str, list[IterationResult] | list[list[Iterati
     ) = args
     if backend is not None:
         set_default_backend(backend)
+    results: list[IterationResult] | list[list[IterationResult]]
     if replications is None:
         rng = cell_rng(seed, ranks, approach)
         results = run_iterations(
@@ -234,6 +248,7 @@ def run_sweep(
         for approach in resolved
     ]
     n_jobs = min(_resolve_jobs(n_jobs), len(cells)) if cells else 1
+    outcomes: Iterable[tuple[int, str, list[IterationResult] | list[list[IterationResult]]]]
     if n_jobs <= 1:
         outcomes = map(_run_cell, cells)
     else:

@@ -25,13 +25,15 @@ background level, a controlled comparison.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from ..engine import KRAKEN, Machine, default_backend, resolve_machine, set_default_backend
-from ..io_models import resolve_approaches
+from ..io_models import IOApproach, resolve_approaches
 from ..stats import reduce_replications
 from ..table import Table
 from ..util import MB, replication_seed
@@ -66,7 +68,22 @@ def _scaled_background(background: Workload, fraction: float) -> Workload | None
     return background.with_overrides(ranks=max(1, round(background.ranks * fraction)))
 
 
-def _run_cell(args) -> tuple[str, str, list[dict]]:
+def _run_cell(
+    args: tuple[
+        Machine,
+        int,
+        int,
+        float,
+        float,
+        int,
+        str,
+        str,
+        Workload,
+        str | None,
+        str | None,
+        int,
+    ],
+) -> tuple[str, str, list[dict[str, Any]]]:
     """One (intensity, approach) cell; module-level so it pickles."""
     (
         machine,
@@ -93,9 +110,9 @@ def _run_cell(args) -> tuple[str, str, list[dict]]:
     )
     contender = _scaled_background(background, INTENSITY_LEVELS[intensity])
     workloads = [foreground] + ([contender] if contender is not None else [])
-    rows = []
+    rows: list[dict[str, Any]] = []
     for index in range(replications):
-        trace_path = None
+        trace_path: Path | None = None
         if trace_dir is not None and index == 0:
             # Replication 0 is the historical stream; its trace is the one
             # a replay reproduces bit for bit.
@@ -113,7 +130,7 @@ def _run_cell(args) -> tuple[str, str, list[dict]]:
         phases = [float(r.visible_times.max()) for r in fg]
         io_mean = float(samples.mean())
         backend_mean = float(np.mean([r.backend_wall_s for r in fg]))
-        row = {
+        row: dict[str, Any] = {
             "intensity": intensity,
             "approach": approach_name,
             "bg_ranks": contender.ranks if contender is not None else 0,
@@ -143,7 +160,7 @@ def run_app_interference(
     compute_time: float = 120.0,
     machine: Machine | str = KRAKEN,
     seed: int = 0,
-    approaches=None,
+    approaches: Sequence[IOApproach | str] | None = None,
     intensities: tuple[str, ...] = ("off", "light", "heavy"),
     background: Workload | None = None,
     n_jobs: int | None = None,
@@ -188,6 +205,7 @@ def run_app_interference(
         for name in names
     ]
     n_jobs = min(_resolve_jobs(n_jobs), len(cells)) if cells else 1
+    outcomes: Iterable[tuple[str, str, list[dict[str, Any]]]]
     if n_jobs <= 1:
         outcomes = map(_run_cell, cells)
     else:

@@ -17,8 +17,10 @@ client-visible cost of each writer.
 from __future__ import annotations
 
 import os
-import time
 import zlib
+from collections.abc import Sequence
+from functools import partial
+from typing import cast
 
 import numpy as np
 
@@ -61,10 +63,14 @@ _CODECS = {"zlib-1": 1, "zlib-6": 6, "zlib-9": 9}
 def run_compression(
     output_dir: str,
     field_shape: tuple[int, int] = (384, 384),
-    codecs=("zlib-1", "zlib-6", "zlib-9"),
+    codecs: Sequence[str] = ("zlib-1", "zlib-6", "zlib-9"),
     machine: Machine | str = KRAKEN,
     seed: int = 0,
 ) -> Table:
+    # Timing goes through the blessed harness; imported lazily because
+    # repro.bench imports the experiment suite at package-init time.
+    from ..bench.timing import time_once
+
     machine = resolve_machine(machine)
     field = cm1_like_field(shape=field_shape, seed=seed)
     raw = field.tobytes()
@@ -88,9 +94,8 @@ def run_compression(
             raise ValueError(
                 f"unknown codec {codec!r}; known: {sorted(_CODECS)}"
             ) from None
-        start = time.perf_counter()
-        compressed = zlib.compress(raw, level)
-        elapsed = time.perf_counter() - start
+        elapsed, value = time_once(partial(zlib.compress, raw, level))
+        compressed = cast(bytes, value)
         with open(os.path.join(output_dir, f"field.{codec}.z"), "wb") as fh:
             fh.write(compressed)
         table.append(

@@ -15,6 +15,9 @@ Two behaviours of the Nek5000-like coupling are reproduced:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import Any
+
 import numpy as np
 
 from ..engine import KRAKEN, Machine, resolve_machine
@@ -32,7 +35,7 @@ NEK_DATA_PER_CORE = 4 * 1024 * 1024
 
 
 def run_insitu_scaling(
-    scales,
+    scales: Sequence[int],
     iterations: int = 3,
     machine: Machine | str = KRAKEN,
     seed: int = 0,
@@ -58,7 +61,7 @@ def run_insitu_scaling(
                 ("damaris (dedicated cores)", damaris_samples),
             ):
                 mean = float(samples.mean())
-                row = {
+                row: dict[str, Any] = {
                     "coupling": coupling,
                     "cores": cores,
                     "insitu_mean_s": mean,
@@ -78,7 +81,7 @@ def check_insitu_shape(table: Table) -> None:
     damaris = table.where(coupling="damaris (dedicated cores)").sort_by("cores")
     sync_costs = sync.column("insitu_mean_s")
     damaris_costs = damaris.column("insitu_mean_s")
-    assert all(b > a for a, b in zip(sync_costs, sync_costs[1:])), sync_costs
+    assert all(b > a for a, b in zip(sync_costs, sync_costs[1:], strict=False)), sync_costs
     assert max(damaris_costs) - min(damaris_costs) < 0.05, damaris_costs
     assert sync_costs[-1] > 10 * damaris_costs[-1], (sync_costs, damaris_costs)
 

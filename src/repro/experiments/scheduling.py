@@ -11,9 +11,12 @@ over-subscribed regime the paper reaches with 768+ nodes on 336 OSTs.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from ..engine import KRAKEN, Machine, RequestBatch, resolve_machine, solve
+from ..engine import Interference, KRAKEN, Machine, RequestBatch, resolve_machine, solve
+from ..util import IntArray
 from ..io_models import DedicatedCores
 from ..stats import reduce_replications
 from ..table import Table
@@ -23,7 +26,7 @@ from ._driver import DEFAULT_INTERFERENCE, _validate_replications
 __all__ = ["run_scheduling", "check_scheduling_shape"]
 
 
-def _balanced_waves(osts, nodes: int, wave_size: int) -> list[list[int]]:
+def _balanced_waves(osts: IntArray, nodes: int, wave_size: int) -> list[list[int]]:
     """Partition writers into waves with at most one stream per OST each.
 
     Writers are grouped by their target OST, then dealt round-robin: wave
@@ -51,7 +54,7 @@ def run_scheduling(
     compute_time: float = 120.0,
     with_interference: bool = False,
     seed: int = 0,
-    interference=None,
+    interference: Interference | None = None,
     replications: int = 1,
 ) -> Table:
     machine = resolve_machine(machine)
@@ -71,14 +74,14 @@ def run_scheduling(
     for index in range(replications):
         rng = np.random.default_rng([replication_seed(seed, index), ranks, wave_size])
         # Both policies face the same file-system weather and OST placement.
-        per_iteration = []
+        per_iteration: list[tuple[Any, IntArray]] = []
         for _ in range(iterations):
             background = interference.sample_background(machine, rng) if interference else None
             osts = rng.permutation(nodes) % machine.ost_count
             per_iteration.append((background, osts))
 
         for policy in ("unscheduled", "scheduled"):
-            walls = []
+            walls: list[float] = []
             for background, osts in per_iteration:
                 if policy == "unscheduled":
                     # Every dedicated core fires as soon as its data is ready.
@@ -97,7 +100,7 @@ def run_scheduling(
                         wall += float(done.max())
                     walls.append(wall)
             wall_mean = float(np.mean(walls))
-            row = {
+            row: dict[str, Any] = {
                 "policy": policy,
                 "ranks": ranks,
                 "writers": nodes,

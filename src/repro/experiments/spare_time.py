@@ -10,6 +10,9 @@ with scale and the idle fraction holds up across the ladder.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import Any
+
 import numpy as np
 
 from ..engine import KRAKEN, Machine, resolve_machine
@@ -23,7 +26,7 @@ __all__ = ["run_spare_time", "check_spare_time_shape"]
 
 
 def run_spare_time(
-    scales,
+    scales: Sequence[int],
     iterations: int = 3,
     data_per_rank: float = 45 * MB,
     compute_time: float = 300.0,
@@ -50,7 +53,7 @@ def run_spare_time(
             # Backpressure bound: with a compute phase shorter than the core's
             # busy time the idle fraction bottoms out at ~0, never negative.
             period = iteration_period(compute_time, copy, busy)
-            row = {
+            row: dict[str, Any] = {
                 "ranks": ranks,
                 "nodes": nodes,
                 "busy_mean_s": busy,

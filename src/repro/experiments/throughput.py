@@ -9,9 +9,13 @@ approach makes durable divided by the wall time its backend needed.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import Any
+
 import numpy as np
 
-from ..engine import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Interference, Machine, resolve_machine
+from ..io_models import IOApproach, IterationResult
 from ..stats import reduce_replications
 from ..table import Table
 from ..util import GB, MB
@@ -25,7 +29,13 @@ from ._driver import (
 __all__ = ["run_throughput", "check_throughput_shape"]
 
 
-def _throughput_row(name: str, ranks: int, results, compute_time: float, iterations: int) -> dict:
+def _throughput_row(
+    name: str,
+    ranks: int,
+    results: Sequence[IterationResult],
+    compute_time: float,
+    iterations: int,
+) -> dict[str, Any]:
     throughputs = [r.bytes_written / r.backend_wall_s for r in results]
     visible_mean = float(np.mean([r.visible_times.mean() for r in results]))
     backend_mean = float(np.mean([r.backend_wall_s for r in results]))
@@ -48,8 +58,8 @@ def run_throughput(
     machine: Machine | str = KRAKEN,
     with_interference: bool = False,
     seed: int = 0,
-    approaches=None,
-    interference=None,
+    approaches: Sequence[IOApproach | str] | None = None,
+    interference: Interference | None = None,
     replications: int = 1,
     batched: bool = True,
 ) -> Table:

@@ -19,9 +19,13 @@ test, meant to be fed by at least 30 replications.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import Any
+
 import numpy as np
 
-from ..engine import KRAKEN, Machine, resolve_machine
+from ..engine import KRAKEN, Interference, Machine, resolve_machine
+from ..io_models import IOApproach, IterationResult
 from ..stats import reduce_replications
 from ..table import Table
 from ..util import MB
@@ -39,7 +43,9 @@ __all__ = [
 ]
 
 
-def _variability_row(name: str, ranks: int, results, compute_time: float) -> dict:
+def _variability_row(
+    name: str, ranks: int, results: Sequence[IterationResult], compute_time: float
+) -> dict[str, Any]:
     """One approach cell's row: the paper's pooled-distribution moments."""
     # Pool every (rank, iteration) sample: the paper's distributions.
     samples = np.concatenate([r.visible_times for r in results])
@@ -66,8 +72,8 @@ def run_variability(
     with_interference: bool = True,
     machine: Machine | str = KRAKEN,
     seed: int = 0,
-    approaches=None,
-    interference=None,
+    approaches: Sequence[IOApproach | str] | None = None,
+    interference: Interference | None = None,
     replications: int = 1,
     batched: bool = True,
 ) -> Table:

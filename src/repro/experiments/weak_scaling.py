@@ -11,10 +11,13 @@ scale — the paper's ≈3.5x figure for Damaris at 9216 ranks.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
+from typing import Any, cast
+
 import numpy as np
 
-from ..engine import KRAKEN, Machine, resolve_machine
-from ..io_models import resolve_approaches
+from ..engine import KRAKEN, Interference, Machine, resolve_machine
+from ..io_models import IOApproach, IterationResult, resolve_approaches
 from ..stats import reduce_replications
 from ..table import Table
 from ..util import MB
@@ -23,11 +26,17 @@ from ._driver import _validate_replications, iteration_period, run_sweep
 __all__ = ["run_weak_scaling", "check_scaling_shape"]
 
 
-def _scaling_rows(sweep, scales, names, iterations: int, compute_time: float) -> list[dict]:
+def _scaling_rows(
+    sweep: Mapping[tuple[int, str], Sequence[IterationResult]],
+    scales: Sequence[int],
+    names: Sequence[str],
+    iterations: int,
+    compute_time: float,
+) -> list[dict[str, Any]]:
     """Rows of one (replication of a) sweep, speedup baselines included."""
-    out = []
+    out: list[dict[str, Any]] = []
     for ranks in scales:
-        rows = []
+        rows: list[dict[str, Any]] = []
         for name in names:
             results = sweep[(ranks, name)]
             phases = [float(r.visible_times.max()) for r in results]
@@ -56,16 +65,16 @@ def _scaling_rows(sweep, scales, names, iterations: int, compute_time: float) ->
 
 
 def run_weak_scaling(
-    scales,
+    scales: Sequence[int],
     iterations: int = 2,
     data_per_rank: float = 45 * MB,
     compute_time: float = 300.0,
     machine: Machine | str = KRAKEN,
     with_interference: bool = False,
     seed: int = 0,
-    approaches=None,
+    approaches: Sequence[IOApproach | str] | None = None,
     n_jobs: int | None = None,
-    interference=None,
+    interference: Interference | None = None,
     replications: int = 1,
     batched: bool = True,
 ) -> Table:
@@ -88,13 +97,15 @@ def run_weak_scaling(
     )
     table = Table()
     if replications <= 1:
-        for row in _scaling_rows(sweep, scales, names, iterations, compute_time):
+        singles = cast("dict[tuple[int, str], list[IterationResult]]", sweep)
+        for row in _scaling_rows(singles, scales, names, iterations, compute_time):
             table.append(row)
         return table
     # Per-replication speedups compare same-replication runs, so the
     # reduced speedup column is a genuine paired statistic.
+    replicated = cast("dict[tuple[int, str], list[list[IterationResult]]]", sweep)
     for index in range(replications):
-        cut = {key: reps[index] for key, reps in sweep.items()}
+        cut = {key: reps[index] for key, reps in replicated.items()}
         for row in _scaling_rows(cut, scales, names, iterations, compute_time):
             table.append(row, replication=index)
     return reduce_replications(table, ("approach", "ranks"), seed=seed)
@@ -111,7 +122,7 @@ def check_scaling_shape(table: Table) -> None:
     # The synchronous approaches' I/O phase grows with scale...
     for name in ("collective", "file-per-process"):
         phases = table.where(approach=name).sort_by("ranks").column("io_phase_mean_s")
-        assert all(b > a for a, b in zip(phases, phases[1:])), (name, phases)
+        assert all(b > a for a, b in zip(phases, phases[1:], strict=False)), (name, phases)
 
     # ...while the Damaris-visible phase is flat and negligible.
     damaris = table.where(approach="damaris").sort_by("ranks")

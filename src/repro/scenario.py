@@ -70,7 +70,7 @@ class ScenarioConfig:
     #: Directory E9 records per-cell request traces into (``None`` = off).
     trace: str | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "machine", resolve_machine(self.machine))
         object.__setattr__(self, "ladder", tuple(int(r) for r in self.ladder))
         if self.backend is not None:

@@ -17,6 +17,7 @@ the sweep process pool guarantee.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..util import seed_key
 
@@ -29,7 +30,7 @@ DEFAULT_RESAMPLES = 1000
 
 
 def bootstrap_ci(
-    samples,
+    samples: npt.ArrayLike,
     *,
     confidence: float = 0.95,
     resamples: int = DEFAULT_RESAMPLES,

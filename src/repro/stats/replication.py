@@ -107,6 +107,8 @@ def run_replications(
             large_writes=large_writes,
             backend=backend,
         )
-        for i, times in zip(index, done):
+        for i, times in zip(index, done, strict=True):
             results[i] = prepared[i].finalize(times)
-    return [results[r * iterations : (r + 1) * iterations] for r in range(replications)]
+    final = [result for result in results if result is not None]
+    assert len(final) == len(prepared)
+    return [final[r * iterations : (r + 1) * iterations] for r in range(replications)]

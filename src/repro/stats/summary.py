@@ -23,7 +23,7 @@ non-float column has no meaningful cross-replication reduction.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 import numpy as np
 
@@ -38,10 +38,10 @@ def replication_reducer(
     confidence: float = 0.95,
     resamples: int = DEFAULT_RESAMPLES,
     seed: int = 0,
-):
+) -> Callable[[str, list[object]], dict[str, object]]:
     """A ``Table.group_reduce`` reducer producing the CI column family."""
 
-    def reduce(column: str, values: list) -> dict:
+    def reduce(column: str, values: list[object]) -> dict[str, object]:
         # len(values) only equals the replication count for columns every
         # replication emitted; reduce_replications overwrites it with the
         # group's true row count (this keeps the column position early).
@@ -95,7 +95,7 @@ def reduce_replications(
     # The reducer sees one column's values at a time, so a sparsely
     # populated column would understate the count; the authoritative
     # replication count of a group is its row count.
-    counts: dict[tuple, int] = {}
+    counts: dict[tuple[object, ...], int] = {}
     for row in table:
         group = tuple(row[k] for k in keys)
         counts[group] = counts.get(group, 0) + 1

@@ -15,7 +15,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from typing import Any
 
 __all__ = ["Row", "Table"]
@@ -34,7 +34,7 @@ class Row:
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: dict[str, Any]):
+    def __init__(self, data: dict[str, Any]) -> None:
         self._data = dict(data)
 
     def __getitem__(self, key: str) -> Any:
@@ -79,7 +79,7 @@ def _fmt_cell(value: Any) -> str:
 class Table:
     """An ordered collection of :class:`Row` with query helpers."""
 
-    def __init__(self, rows: Iterable[dict[str, Any] | Row] = ()):
+    def __init__(self, rows: Iterable[dict[str, Any] | Row] = ()) -> None:
         self._rows: list[Row] = [r if isinstance(r, Row) else Row(r) for r in rows]
 
     # -- construction -----------------------------------------------------
@@ -153,7 +153,7 @@ class Table:
         if not keys:
             raise ValueError("sort_by needs at least one column name")
 
-        def sort_key(row: Row):
+        def sort_key(row: Row) -> tuple[tuple[object, ...], ...]:
             return tuple((0, row[k]) if k in row else (1,) for k in keys)
 
         return Table(sorted(self._rows, key=sort_key, reverse=reverse))
@@ -165,7 +165,7 @@ class Table:
     def group_reduce(
         self,
         by: str | Iterable[str],
-        reduce: Any,
+        reduce: Callable[[str, list[Any]], Any],
         *,
         exclude: Iterable[str] = (),
     ) -> Table:
@@ -183,7 +183,7 @@ class Table:
         if not keys:
             raise ValueError("group_reduce needs at least one key column")
         dropped = set(exclude)
-        groups: dict[tuple, list[Row]] = {}
+        groups: dict[tuple[Any, ...], list[Row]] = {}
         for row in self._rows:
             for key in keys:
                 if key not in row:
@@ -191,7 +191,7 @@ class Table:
             groups.setdefault(tuple(row[k] for k in keys), []).append(row)
         out = Table()
         for group_key, rows in groups.items():
-            cells: dict[str, Any] = dict(zip(keys, group_key))
+            cells: dict[str, Any] = dict(zip(keys, group_key, strict=True))
             columns: dict[str, list[Any]] = {}
             for row in rows:
                 for name in row.keys():
@@ -228,7 +228,7 @@ class Table:
         def fmt_line(parts: list[str]) -> str:
             padded = [
                 p.rjust(w) if num else p.ljust(w)
-                for p, w, num in zip(parts, widths, numeric)
+                for p, w, num in zip(parts, widths, numeric, strict=True)
             ]
             return "  ".join(padded).rstrip()
 

@@ -5,7 +5,25 @@ from __future__ import annotations
 import zlib
 from collections.abc import Mapping
 
-__all__ = ["KB", "MB", "GB", "env_flag", "seed_key", "replication_seed"]
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "FloatArray",
+    "IntArray",
+    "env_flag",
+    "seed_key",
+    "replication_seed",
+]
+
+#: The package's array currencies: request times/sizes are float64 arrays,
+#: OST indices and tags are int64 arrays.  Annotation aliases only — at
+#: runtime these are ordinary ``np.ndarray`` objects.
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
 
 KB = 1024
 MB = 1024 * KB

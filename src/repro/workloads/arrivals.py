@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..util import FloatArray
+
 __all__ = [
     "ArrivalProcess",
     "Periodic",
@@ -46,7 +48,7 @@ class ArrivalProcess:
 
     name: str = "?"
 
-    def sample(self, rng: np.random.Generator, n: int, period: float) -> np.ndarray:
+    def sample(self, rng: np.random.Generator, n: int, period: float) -> FloatArray:
         """Offsets (seconds from iteration start) of ``n`` clients' writes."""
         raise NotImplementedError
 
@@ -63,7 +65,7 @@ class Periodic(ArrivalProcess):
 
     name = "periodic"
 
-    def sample(self, rng, n, period):
+    def sample(self, rng: np.random.Generator, n: int, period: float) -> FloatArray:
         self._check(n, period)
         return np.zeros(n)
 
@@ -75,12 +77,12 @@ class Jittered(ArrivalProcess):
 
     name = "jittered"
 
-    def __init__(self, spread: float = 0.05):
+    def __init__(self, spread: float = 0.05) -> None:
         if not 0.0 <= spread <= 1.0:
             raise ValueError(f"spread must be within [0, 1], got {spread}")
         self.spread = spread
 
-    def sample(self, rng, n, period):
+    def sample(self, rng: np.random.Generator, n: int, period: float) -> FloatArray:
         self._check(n, period)
         return rng.uniform(0.0, self.spread * period, n)
 
@@ -95,12 +97,12 @@ class PoissonArrivals(ArrivalProcess):
 
     name = "poisson"
 
-    def __init__(self, window: float = 0.5):
+    def __init__(self, window: float = 0.5) -> None:
         if not 0.0 < window <= 1.0:
             raise ValueError(f"window must be within (0, 1], got {window}")
         self.window = window
 
-    def sample(self, rng, n, period):
+    def sample(self, rng: np.random.Generator, n: int, period: float) -> FloatArray:
         self._check(n, period)
         return np.sort(rng.uniform(0.0, self.window * period, n))
 
@@ -127,7 +129,7 @@ class BurstArrivals(ArrivalProcess):
         burst_width: float = 0.05,
         base_rate: float = 1.0,
         burst_rate: float = 25.0,
-    ):
+    ) -> None:
         if not 0.0 < window <= 1.0:
             raise ValueError(f"window must be within (0, 1], got {window}")
         if bursts < 1:
@@ -144,12 +146,12 @@ class BurstArrivals(ArrivalProcess):
         self.base_rate = base_rate
         self.burst_rate = burst_rate
 
-    def _rate(self, t: np.ndarray, horizon: float, centers: np.ndarray) -> np.ndarray:
+    def _rate(self, t: FloatArray, horizon: float, centers: FloatArray) -> FloatArray:
         half = 0.5 * self.burst_width * horizon
         in_burst = (np.abs(t[:, None] - centers[None, :]) <= half).any(axis=1)
         return np.where(in_burst, self.burst_rate, self.base_rate)
 
-    def sample(self, rng, n, period):
+    def sample(self, rng: np.random.Generator, n: int, period: float) -> FloatArray:
         self._check(n, period)
         horizon = self.window * period
         centers = rng.uniform(0.0, horizon, self.bursts)

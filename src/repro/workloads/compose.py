@@ -45,8 +45,8 @@ from ..engine import (
     solve,
     split_by_segment,
 )
-from ..io_models import IterationResult, resolve_approach
-from ..util import seed_key
+from ..io_models import IterationPlan, IterationResult, resolve_approach
+from ..util import FloatArray, seed_key
 from .arrivals import resolve_arrival_process
 from .spec import Workload
 from .trace import Trace, TraceIteration
@@ -79,7 +79,7 @@ class CompositionResult:
     #: Per-app per-iteration results, in workload order.
     results: dict[str, list[IterationResult]]
     #: Per-app per-iteration raw request completion times (batch order).
-    completions: dict[str, list[np.ndarray]]
+    completions: dict[str, list[FloatArray]]
     #: The recorded scenario, replayable exactly.
     trace: Trace
 
@@ -123,9 +123,9 @@ def run_composition(
 
     trace = Trace(machine=machine.name, period=period, apps=apps)
     results: dict[str, list[IterationResult]] = {app: [] for app in apps}
-    completions: dict[str, list[np.ndarray]] = {app: [] for app in apps}
+    completions: dict[str, list[FloatArray]] = {app: [] for app in apps}
     for _ in range(iterations):
-        plans = []
+        plans: list[IterationPlan] = []
         for workload, approach, process, rng in states:
             arrivals = process.sample(rng, approach.clients(machine, workload.ranks), period)
             plans.append(
@@ -143,10 +143,12 @@ def run_composition(
             TraceIteration(
                 large_writes=large_writes,
                 background=background,
-                batches={app: plan.batch for app, plan in zip(apps, plans)},
+                batches={app: plan.batch for app, plan in zip(apps, plans, strict=True)},
             )
         )
-        for app, plan, part in zip(apps, plans, split_by_segment(done, segments, len(plans))):
+        for app, plan, part in zip(
+            apps, plans, split_by_segment(done, segments, len(plans)), strict=True
+        ):
             results[app].append(plan.finalize(part))
             completions[app].append(part)
 
@@ -160,7 +162,7 @@ def replay_trace(
     *,
     machine: Machine | str | None = None,
     backend: str | None = None,
-) -> dict[str, list[np.ndarray]]:
+) -> dict[str, list[FloatArray]]:
     """Re-solve a recorded scenario; returns per-app completion times.
 
     No rng is involved: the trace already pins every request and the
@@ -170,7 +172,7 @@ def replay_trace(
     if not isinstance(trace, Trace):
         trace = Trace.load(trace)
     machine = resolve_machine(trace.machine if machine is None else machine)
-    completions: dict[str, list[np.ndarray]] = {app: [] for app in trace.apps}
+    completions: dict[str, list[FloatArray]] = {app: [] for app in trace.apps}
     for iteration in trace.iterations:
         merged, segments = merge_batches([iteration.batches[app] for app in trace.apps])
         done = solve(
@@ -180,6 +182,8 @@ def replay_trace(
             large_writes=iteration.large_writes,
             backend=backend,
         )
-        for app, part in zip(trace.apps, split_by_segment(done, segments, len(trace.apps))):
+        for app, part in zip(
+            trace.apps, split_by_segment(done, segments, len(trace.apps)), strict=True
+        ):
             completions[app].append(part)
     return completions

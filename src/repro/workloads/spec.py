@@ -33,7 +33,7 @@ class Workload:
     #: Registered I/O-approach name carrying the requests.
     approach: str = "damaris"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.app:
             raise ValueError("workload app name must be non-empty")
         if self.ranks < 1:

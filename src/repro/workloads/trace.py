@@ -23,17 +23,19 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, TextIO
 
 import numpy as np
 
 from ..engine import RequestBatch
+from ..util import FloatArray
 
 __all__ = ["Trace", "TraceIteration"]
 
 _VERSION = 1
 
 
-def _write_line(fh, record: dict) -> None:
+def _write_line(fh: TextIO, record: dict[str, Any]) -> None:
     fh.write(json.dumps(record) + "\n")
 
 
@@ -42,7 +44,7 @@ class TraceIteration:
     """What one composed iteration put on the OSTs."""
 
     large_writes: bool
-    background: np.ndarray
+    background: FloatArray
     #: Per-application generated requests, keyed by app name.
     batches: dict[str, RequestBatch] = field(default_factory=dict)
 
@@ -105,7 +107,7 @@ class Trace:
     def load(cls, path: str | Path) -> Trace:
         """Read a trace written by :meth:`save`."""
         path = Path(path)
-        header: dict | None = None
+        header: dict[str, Any] | None = None
         iterations: list[TraceIteration] = []
         with path.open(encoding="utf-8") as fh:
             for line_no, line in enumerate(fh, start=1):

@@ -106,7 +106,8 @@ def test_measure_validates_arguments():
 def test_timing_dict_round_trip():
     timing = Timing(times=(0.25, 0.5, 0.75), warmup=1)
     data = timing.as_dict()
-    assert data["best_s"] == 0.25 and data["median_s"] == 0.5
+    assert data["best_s"] == pytest.approx(0.25)
+    assert data["median_s"] == pytest.approx(0.5)
     assert Timing.from_dict(json.loads(json.dumps(data))) == timing
 
 

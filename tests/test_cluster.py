@@ -63,7 +63,7 @@ def test_nodes_for():
 
 
 def test_seek_penalty_shape():
-    assert KRAKEN.seek_penalty(1, large_writes=False) == 1.0
+    assert KRAKEN.seek_penalty(1, large_writes=False) == pytest.approx(1.0)
     small = KRAKEN.seek_penalty(4, large_writes=False)
     large = KRAKEN.seek_penalty(4, large_writes=True)
     assert small > large > 1.0

@@ -102,7 +102,7 @@ def test_composition_is_deterministic():
     a = run_composition(KRAKEN, [FG, BG], 2, period=60.0, seed=5)
     b = run_composition(KRAKEN, [FG, BG], 2, period=60.0, seed=5)
     for app in a.apps:
-        for x, y in zip(a.completions[app], b.completions[app]):
+        for x, y in zip(a.completions[app], b.completions[app], strict=True):
             np.testing.assert_array_equal(x, y)
     c = run_composition(KRAKEN, [FG, BG], 2, period=60.0, seed=6)
     assert not np.array_equal(a.completions["sim"][0], c.completions["sim"][0])
@@ -114,7 +114,7 @@ def test_foreground_stream_survives_background_changes():
     # only what it experiences.
     solo = run_composition(KRAKEN, [FG], 2, period=60.0, seed=0)
     both = run_composition(KRAKEN, [FG, BG], 2, period=60.0, seed=0)
-    for a, b in zip(solo.trace.iterations, both.trace.iterations):
+    for a, b in zip(solo.trace.iterations, both.trace.iterations, strict=True):
         np.testing.assert_array_equal(a.batches["sim"].arrival, b.batches["sim"].arrival)
         np.testing.assert_array_equal(a.batches["sim"].nbytes, b.batches["sim"].nbytes)
 
@@ -157,7 +157,7 @@ def test_trace_round_trips_through_jsonl(tmp_path):
     assert loaded.machine == "kraken"
     assert loaded.apps == ("sim", "background")
     assert len(loaded) == 2
-    for recorded, read in zip(out.trace.iterations, loaded.iterations):
+    for recorded, read in zip(out.trace.iterations, loaded.iterations, strict=True):
         assert recorded.large_writes == read.large_writes
         np.testing.assert_array_equal(recorded.background, read.background)
         for app in out.apps:
@@ -172,7 +172,7 @@ def test_replay_reproduces_the_live_run_exactly(tmp_path):
     out = run_composition(KRAKEN, [FG, BG], 2, period=60.0, seed=4, trace_path=path)
     replayed = replay_trace(path)
     for app in out.apps:
-        for live, again in zip(out.completions[app], replayed[app]):
+        for live, again in zip(out.completions[app], replayed[app], strict=True):
             np.testing.assert_array_equal(live, again)
 
 
@@ -184,7 +184,7 @@ def test_replay_agrees_across_engine_backends(tmp_path):
     vec = replay_trace(path, backend="vectorized")
     ref = replay_trace(path, backend="reference")
     for app in out.apps:
-        for a, b in zip(vec[app], ref[app]):
+        for a, b in zip(vec[app], ref[app], strict=True):
             np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-6)
 
 

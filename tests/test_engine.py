@@ -192,6 +192,6 @@ def test_experiment_tables_identical_across_backends():
         vec = run_throughput(**kwargs)
     with use_backend("reference"):
         ref = run_throughput(**kwargs)
-    for vrow, rrow in zip(vec, ref):
+    for vrow, rrow in zip(vec, ref, strict=True):
         for key in vrow.keys():
             assert vrow[key] == pytest.approx(rrow[key], rel=1e-9), key

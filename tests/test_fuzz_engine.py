@@ -132,7 +132,7 @@ def test_trace_record_replay_round_trip(case_seed, tmp_path):
         replayed = replay_trace(loaded, backend=backend)
         for app in outcome.apps:
             assert len(replayed[app]) == len(outcome.completions[app])
-            for recorded, again in zip(outcome.completions[app], replayed[app]):
+            for recorded, again in zip(outcome.completions[app], replayed[app], strict=True):
                 if backend == "vectorized":
                     # Same backend, same inputs: bit-identical.
                     np.testing.assert_array_equal(again, recorded)

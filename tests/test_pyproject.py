@@ -48,6 +48,38 @@ def test_classifiers_advertise_supported_pythons():
         assert f"Programming Language :: Python :: 3.{minor}" in classifiers
 
 
+def test_py_typed_marker_ships():
+    # The PEP 561 marker must exist and be listed in package-data, or an
+    # installed wheel would silently drop the strict-typing guarantees.
+    assert (REPO / "src" / "repro" / "py.typed").exists()
+    package_data = _pyproject()["tool"]["setuptools"]["package-data"]
+    assert "py.typed" in package_data.get("repro", [])
+
+
+def test_mypy_strict_config_pinned():
+    mypy = _pyproject()["tool"]["mypy"]
+    assert mypy.get("strict") is True
+    assert mypy.get("mypy_path") == "src"
+    assert "mypy" in " ".join(_pyproject()["project"]["optional-dependencies"]["dev"])
+
+
+def test_ruff_selects_bugbear_numpy_and_ruff_rules():
+    select = _pyproject()["tool"]["ruff"]["lint"]["select"]
+    for family in ("B", "NPY", "RUF"):
+        assert family in select, f"ruff rule family {family} must stay enabled"
+
+
+def test_ci_has_static_analysis_job():
+    ci = _ci_text()
+    assert "static-analysis:" in ci, "the static-analysis gate job must exist"
+    after = ci.split("static-analysis:")[1]
+    next_job = re.search(r"\n  \w[\w-]*:\n", after)
+    job = after[: next_job.start()] if next_job else after
+    assert "python -m repro analyze" in job
+    assert "mypy --strict src/repro" in job
+    assert "ANALYZE.json" in job
+
+
 def test_ci_has_perf_gate_concurrency_and_pip_cache():
     ci = _ci_text()
     assert "bench-perf:" in ci, "the perf-regression gate job must exist"

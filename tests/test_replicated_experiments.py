@@ -117,8 +117,8 @@ def test_run_sweep_replicated_cells_independent_of_partitioning():
     pooled = run_sweep(n_jobs=3, **kwargs)
     assert serial.keys() == pooled.keys()
     for key in serial:
-        for rep_a, rep_b in zip(serial[key], pooled[key]):
-            for a, b in zip(rep_a, rep_b):
+        for rep_a, rep_b in zip(serial[key], pooled[key], strict=True):
+            for a, b in zip(rep_a, rep_b, strict=True):
                 np.testing.assert_array_equal(a.visible_times, b.visible_times)
                 assert a.backend_wall_s == b.backend_wall_s
 

@@ -72,9 +72,9 @@ def test_batched_replications_bit_identical_to_serial(approach):
         approach, replications=4, interference=DEFAULT_INTERFERENCE, batched=True, **_CELL
     )
     assert len(serial) == len(batched) == 4
-    for rep_serial, rep_batched in zip(serial, batched):
+    for rep_serial, rep_batched in zip(serial, batched, strict=True):
         assert len(rep_serial) == len(rep_batched) == _CELL["iterations"]
-        for a, b in zip(rep_serial, rep_batched):
+        for a, b in zip(rep_serial, rep_batched, strict=True):
             assert _results_equal(a, b)
 
 
@@ -92,7 +92,7 @@ def test_replication_zero_is_the_historical_stream():
     replicated = run_replications(
         approach, replications=2, interference=DEFAULT_INTERFERENCE, **_CELL
     )
-    for a, b in zip(historical, replicated[0]):
+    for a, b in zip(historical, replicated[0], strict=True):
         assert _results_equal(a, b)
 
 
@@ -101,8 +101,8 @@ def test_replications_are_independent_of_count():
     # replications run alongside — the property that makes partitioning free.
     few = run_replications("file-per-process", replications=2, **_CELL)
     many = run_replications("file-per-process", replications=5, **_CELL)
-    for rep_few, rep_many in zip(few, many):
-        for a, b in zip(rep_few, rep_many):
+    for rep_few, rep_many in zip(few, many, strict=False):
+        for a, b in zip(rep_few, rep_many, strict=False):
             assert _results_equal(a, b)
 
 
@@ -133,7 +133,7 @@ def test_solve_many_matches_per_batch_solving_on_both_backends():
         stacked = solve_many(
             KRAKEN, batches, backgrounds=backgrounds, large_writes=False, backend=backend
         )
-        for batch, background, done in zip(batches, backgrounds, stacked):
+        for batch, background, done in zip(batches, backgrounds, stacked, strict=True):
             alone = solve(
                 KRAKEN, batch, background=background, large_writes=False, backend=backend
             )
@@ -156,7 +156,7 @@ def test_solve_many_vectorized_agrees_with_reference_ground_truth():
         backgrounds=[p.background for p in prepared],
         large_writes=False,
     )
-    for p, done in zip(prepared, batched):
+    for p, done in zip(prepared, batched, strict=True):
         truth = solve(
             KRAKEN, p.batch, background=p.background, large_writes=False, backend="reference"
         )

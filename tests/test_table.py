@@ -51,7 +51,7 @@ def test_where_equality(table):
 def test_where_multiple_predicates(table):
     sub = table.where(approach="damaris", ranks=576)
     assert len(sub) == 1
-    assert sub[0]["io_s"] == 0.07
+    assert sub[0]["io_s"] == pytest.approx(0.07)
 
 
 def test_where_callable_predicate(table):
