@@ -29,7 +29,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from ..engine import KRAKEN, RequestBatch, merge_batches, solve, solve_many
+from ..engine import EXASCALE, KRAKEN, RequestBatch, merge_batches, solve, solve_many
 from ..experiments import (
     run_app_interference,
     run_spare_time,
@@ -107,6 +107,73 @@ def _bench_solve_vectorized() -> tuple[Callable[[], None], float]:
 )
 def _bench_solve_reference() -> tuple[Callable[[], None], float]:
     return _make_solve("reference")
+
+
+def _exascale_staggered() -> tuple[list[tuple[RequestBatch, bool]], FloatArray]:
+    """The staggered unequal-size stressor: 9216 poisson writers plus a
+    9216-rank burst front on the exascale machine's 1024 OSTs — the exact
+    shape that falls off every matrix fast path into per-event solving."""
+    rng = np.random.default_rng(1)
+    batches: list[tuple[RequestBatch, bool]] = []
+    for process, large_writes in (("poisson", False), ("burst", True)):
+        arrival = resolve_arrival_process(process).sample(rng, FULL_SCALE_RANKS, 120.0)
+        batch = RequestBatch(
+            arrival=arrival,
+            ost=rng.permutation(FULL_SCALE_RANKS) % EXASCALE.ost_count,
+            nbytes=rng.uniform(4 * MB, 90 * MB, FULL_SCALE_RANKS),
+        )
+        batches.append((batch, large_writes))
+    background = rng.poisson(1.2, EXASCALE.ost_count).astype(float)
+    return batches, background
+
+
+def _make_staggered(backend: str | None) -> tuple[Callable[[], None], float]:
+    workloads, background = _exascale_staggered()
+
+    def run() -> None:
+        for batch, large_writes in workloads:
+            solve(
+                EXASCALE, batch, background=background, large_writes=large_writes, backend=backend
+            )
+
+    return run, float(sum(len(batch) for batch, _ in workloads))
+
+
+_STAGGERED_PARAMS = {
+    "ranks": FULL_SCALE_RANKS,
+    "machine": "exascale",
+    "workload": "poisson+burst staggered, mixed sizes",
+}
+
+
+@register_benchmark(
+    "micro.solve_staggered.compiled",
+    kind="micro",
+    params={**_STAGGERED_PARAMS, "backend": "compiled"},
+    description="compiled staggered kernel on the 9216-rank exascale poisson+burst mix",
+)
+def _bench_staggered_compiled() -> tuple[Callable[[], None], float]:
+    return _make_staggered("compiled")
+
+
+@register_benchmark(
+    "micro.solve_staggered.vectorized",
+    kind="micro",
+    params={**_STAGGERED_PARAMS, "backend": "vectorized"},
+    description="numpy backend's per-lane event loops on the same staggered workload",
+)
+def _bench_staggered_vectorized() -> tuple[Callable[[], None], float]:
+    return _make_staggered("vectorized")
+
+
+@register_benchmark(
+    "micro.solve_staggered.reference",
+    kind="micro",
+    params={**_STAGGERED_PARAMS, "backend": "reference"},
+    description="seed event-loop solver on the same staggered workload (ground truth)",
+)
+def _bench_staggered_reference() -> tuple[Callable[[], None], float]:
+    return _make_staggered("reference")
 
 
 @functools.cache
@@ -322,6 +389,22 @@ def _bench_e4() -> tuple[Callable[[], None], float]:
         run_spare_time(scales=_FULL_LADDER, iterations=3, seed=0)
 
     return run, float(sum(_FULL_LADDER) * 3)
+
+
+@register_benchmark(
+    "macro.exascale.staggered",
+    kind="macro",
+    params={**_STAGGERED_PARAMS, "iterations": 3, "backend": "default"},
+    description="three rounds of the exascale staggered mix through the default backend",
+)
+def _bench_exascale_staggered() -> tuple[Callable[[], None], float]:
+    run_once, work = _make_staggered(None)
+
+    def run() -> None:
+        for _ in range(3):
+            run_once()
+
+    return run, 3.0 * work
 
 
 @register_benchmark(

@@ -3,9 +3,11 @@
 This package is the bottom layer of the simulator.  It owns the frozen
 :class:`~repro.engine.machines.Machine` descriptions and their registry,
 the :class:`~repro.engine.interference.Interference` model, the write
-request containers, and two interchangeable processor-sharing solvers:
+request containers, and three interchangeable processor-sharing solvers:
 
 * ``vectorized`` — numpy batch solver, the default.
+* ``compiled`` — numba-jitted staggered kernel (``repro[fast]``) with a
+  bit-identical pure-python fallback when numba is absent.
 * ``reference`` — the seed implementation, kept as ground truth.
 
 Everything above (``repro.io_models``, ``repro.experiments``, the CLI)
@@ -23,6 +25,7 @@ from .api import (
     use_backend,
 )
 from .batching import solve_many
+from .compiled import numba_available, solve_compiled
 from .interference import NO_INTERFERENCE, Interference
 from .machines import (
     EXASCALE,
@@ -34,7 +37,10 @@ from .machines import (
     register_machine,
     resolve_machine,
 )
-from .requests import RequestBatch, WriteRequest, merge_batches, split_by_segment
+from .requests import LaneOrder, RequestBatch, WriteRequest, merge_batches, split_by_segment
+from .sharding import SOLVE_SHARDS_ENV, active_shards, solve_sharded
+
+register_backend("compiled", solve_compiled, replace_existing=True)
 
 __all__ = [
     "Machine",
@@ -49,6 +55,7 @@ __all__ = [
     "NO_INTERFERENCE",
     "WriteRequest",
     "RequestBatch",
+    "LaneOrder",
     "merge_batches",
     "split_by_segment",
     "solve",
@@ -59,4 +66,9 @@ __all__ = [
     "default_backend",
     "set_default_backend",
     "use_backend",
+    "solve_compiled",
+    "numba_available",
+    "SOLVE_SHARDS_ENV",
+    "active_shards",
+    "solve_sharded",
 ]

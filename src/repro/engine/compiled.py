@@ -1,0 +1,315 @@
+"""Compiled staggered-solve backend (numba-jitted, pure-python fallback).
+
+The vectorized backend crunches simultaneous and wide equal-size batches
+in a few numpy passes, but the *staggered unequal-size* shape — exactly
+what the poisson/burst workloads produce — degrades to a per-event
+Python loop (`repro.engine.vectorized._solve_one_ost`).  This backend
+moves that event loop into a single kernel over *all* OST lanes of a
+batch: requests are regrouped once into contiguous per-OST lanes
+(:meth:`~repro.engine.requests.RequestBatch.lanes`, cached on the batch)
+and the kernel sweeps each lane with the same virtual-service-time
+arithmetic as the scalar loops — an array-based min-heap of completion
+thresholds for mixed sizes, a FIFO pointer for equal sizes — so its
+results are bit-identical to the vectorized backend's lane loops by
+construction.
+
+When :mod:`numba` is installed (the ``repro[fast]`` extra) the kernels
+are jitted with ``nogil=True`` — one compiled pass over the whole batch,
+and OST-axis sharding (:mod:`repro.engine.sharding`) can run shards on
+real threads.  Without numba the very same functions run as plain
+Python, so the two installs can never diverge semantically; only the
+speed differs (the CI matrix exercises both legs).
+
+Simultaneous-arrival batches delegate to the vectorized backend's
+matrix path, which is already one numpy pass and bit-identical to
+per-lane event solving.
+
+``REPRO_FLOAT32=1`` stores the per-lane arrival/size streams as float32
+before entering the kernel — halving the memory traffic of very wide
+batches at the cost of ~1e-7 relative rounding.  The flag is off by
+default and excluded from the goldens and the cross-validation fuzz.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from ..util import FloatArray, IntArray, env_flag
+from .machines import Machine, PENALTY_CAP
+from .requests import RequestBatch
+from .vectorized import _solve_simultaneous
+
+__all__ = ["solve_compiled", "numba_available", "FLOAT32_ENV"]
+
+#: Environment flag selecting float32 storage for the kernel's per-lane
+#: request streams (approximate; off by default; excluded from goldens).
+FLOAT32_ENV = "REPRO_FLOAT32"
+
+try:
+    from numba import njit as _njit  # type: ignore[import-not-found,import-untyped]
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - exercised by the no-numba CI leg
+    _HAVE_NUMBA = False
+
+
+def numba_available() -> bool:
+    """Whether the kernels below run jitted (``repro[fast]``) or as
+    plain Python with identical semantics."""
+    return _HAVE_NUMBA
+
+
+_KernelFn = Callable[..., None]
+
+
+def _jit(fn: Callable[..., Any]) -> _KernelFn:
+    """numba-compile ``fn`` when available; otherwise return it untouched."""
+    if _HAVE_NUMBA:
+        return _njit(cache=True, nogil=True)(fn)  # type: ignore[no-any-return]
+    return fn
+
+
+def _float32_storage() -> bool:
+    """Whether ``REPRO_FLOAT32`` selects float32 lane storage."""
+    return env_flag(os.environ, FLOAT32_ENV)
+
+
+# ---------------------------------------------------------------------------
+# Kernels.  Written in the njit-compatible subset (scalars, flat arrays,
+# explicit loops); the same source runs compiled or interpreted.  The
+# arithmetic mirrors repro.engine.vectorized's scalar lane loops exactly
+# — same operations in the same order — so outputs are bit-identical to
+# the vectorized backend whichever way the kernels execute.
+# ---------------------------------------------------------------------------
+
+
+def _heap_push(
+    heap_t: FloatArray, heap_p: IntArray, size: int, threshold: float, pos: int
+) -> None:
+    """Push ``(threshold, pos)`` onto the array min-heap of ``size`` items.
+
+    Ordering matches ``heapq`` on ``(threshold, position)`` tuples: ties
+    on the threshold break on the batch position, so the pop sequence is
+    identical to the scalar loop's.
+    """
+    i = size
+    heap_t[i] = threshold
+    heap_p[i] = pos
+    while i > 0:
+        parent = (i - 1) >> 1
+        if heap_t[parent] < heap_t[i] or (
+            heap_t[parent] == heap_t[i] and heap_p[parent] <= heap_p[i]
+        ):
+            break
+        heap_t[i], heap_t[parent] = heap_t[parent], heap_t[i]
+        heap_p[i], heap_p[parent] = heap_p[parent], heap_p[i]
+        i = parent
+
+
+def _heap_pop(heap_t: FloatArray, heap_p: IntArray, size: int) -> None:
+    """Remove the root of the array min-heap of ``size`` items."""
+    last = size - 1
+    heap_t[0] = heap_t[last]
+    heap_p[0] = heap_p[last]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= last:
+            break
+        child = left
+        right = left + 1
+        if right < last and (
+            heap_t[right] < heap_t[left]
+            or (heap_t[right] == heap_t[left] and heap_p[right] < heap_p[left])
+        ):
+            child = right
+        if heap_t[i] < heap_t[child] or (
+            heap_t[i] == heap_t[child] and heap_p[i] <= heap_p[child]
+        ):
+            break
+        heap_t[i], heap_t[child] = heap_t[child], heap_t[i]
+        heap_p[i], heap_p[child] = heap_p[child], heap_p[i]
+        i = child
+
+
+def _staggered_heap_lanes(
+    bw: float,
+    slope: float,
+    cap: float,
+    arrivals: FloatArray,
+    sizes: FloatArray,
+    positions: IntArray,
+    lane_bg: FloatArray,
+    starts: IntArray,
+    ends: IntArray,
+    out: FloatArray,
+) -> None:
+    """Virtual-service-time sweep of every lane's arrival-sorted requests.
+
+    One call handles the whole batch: lane ``k`` is the slice
+    ``[starts[k], ends[k])`` of the flat sorted arrays, and the heap
+    scratch is sized once to the deepest lane.
+    """
+    lanes = starts.shape[0]
+    max_depth = 0
+    for k in range(lanes):
+        depth = ends[k] - starts[k]
+        if depth > max_depth:
+            max_depth = depth
+    heap_t = np.empty(max_depth, dtype=np.float64)
+    heap_p = np.empty(max_depth, dtype=np.int64)
+    for k in range(lanes):
+        start = starts[k]
+        end = ends[k]
+        background = lane_bg[k]
+        heap_size = 0
+        t = 0.0  # wall-clock time
+        service = 0.0  # cumulative per-stream service S(t)
+        i = start
+        while i < end or heap_size > 0:
+            if heap_size == 0:
+                # Idle OST: jump to the next arrival; no service accrues.
+                if arrivals[i] > t:
+                    t = arrivals[i]
+                _heap_push(heap_t, heap_p, heap_size, service + sizes[i], positions[i])
+                heap_size += 1
+                i += 1
+                continue
+            streams = heap_size + background
+            penalty = 1.0 if streams <= 1.0 else min(1.0 + slope * (streams - 1.0), cap)
+            rate = bw / (streams * penalty)
+            threshold = heap_t[0]
+            t_complete = t + (threshold - service) / rate
+            if i < end and arrivals[i] <= t_complete:
+                service += rate * (arrivals[i] - t)
+                t = arrivals[i]
+                _heap_push(heap_t, heap_p, heap_size, service + sizes[i], positions[i])
+                heap_size += 1
+                i += 1
+            else:
+                service = threshold
+                t = t_complete
+                out[heap_p[0]] = t
+                _heap_pop(heap_t, heap_p, heap_size)
+                heap_size -= 1
+
+
+def _staggered_fifo_lanes(
+    bw: float,
+    slope: float,
+    cap: float,
+    arrivals: FloatArray,
+    sizes: FloatArray,
+    positions: IntArray,
+    lane_bg: FloatArray,
+    starts: IntArray,
+    ends: IntArray,
+    out: FloatArray,
+) -> None:
+    """Equal-size variant: completions follow arrival order, no heap."""
+    lanes = starts.shape[0]
+    max_depth = 0
+    for k in range(lanes):
+        depth = ends[k] - starts[k]
+        if depth > max_depth:
+            max_depth = depth
+    thresholds = np.empty(max_depth, dtype=np.float64)
+    for k in range(lanes):
+        start = starts[k]
+        end = ends[k]
+        background = lane_bg[k]
+        head = start  # oldest active request (next to complete)
+        i = start  # next arrival
+        t = 0.0
+        service = 0.0
+        while head < end:
+            if head == i:
+                if arrivals[i] > t:
+                    t = arrivals[i]
+                thresholds[i - start] = service + sizes[i]
+                i += 1
+                continue
+            streams = (i - head) + background
+            penalty = 1.0 if streams <= 1.0 else min(1.0 + slope * (streams - 1.0), cap)
+            rate = bw / (streams * penalty)
+            threshold = thresholds[head - start]
+            t_complete = t + (threshold - service) / rate
+            if i < end and arrivals[i] <= t_complete:
+                service += rate * (arrivals[i] - t)
+                t = arrivals[i]
+                thresholds[i - start] = service + sizes[i]
+                i += 1
+            else:
+                service = threshold
+                t = t_complete
+                out[positions[head]] = t
+                head += 1
+
+
+_heap_push = _jit(_heap_push)  # type: ignore[assignment]
+_heap_pop = _jit(_heap_pop)  # type: ignore[assignment]
+_staggered_heap_lanes = _jit(_staggered_heap_lanes)  # type: ignore[assignment]
+_staggered_fifo_lanes = _jit(_staggered_fifo_lanes)  # type: ignore[assignment]
+
+
+def solve_compiled(
+    machine: Machine,
+    batch: RequestBatch,
+    background: FloatArray | None,
+    large_writes: bool,
+) -> FloatArray:
+    """Completion time of every request in ``batch``, in batch order."""
+    n = len(batch)
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    if background is not None:
+        bg_per_ost = np.asarray(background, dtype=np.float64)
+    else:
+        bg_per_ost = np.zeros(machine.ost_count, dtype=np.float64)
+    slope = (
+        machine.large_write_seek_penalty
+        if large_writes
+        else machine.small_write_seek_penalty
+    )
+    arrival = batch.arrival
+    if np.all(arrival == arrival[0]):
+        # Simultaneous flushes are already one numpy pass there, and the
+        # matrix arithmetic is bit-identical to per-lane event solving.
+        return _solve_simultaneous(
+            machine.ost_bandwidth,
+            slope,
+            batch.ost % machine.ost_count,
+            float(arrival[0]),
+            batch.nbytes,
+            bg_per_ost,
+        )
+    lanes = batch.lanes(machine.ost_count)
+    arrivals = lanes.arrival
+    sizes = lanes.nbytes
+    if _float32_storage():
+        arrivals = arrivals.astype(np.float32)
+        sizes = sizes.astype(np.float32)
+    lane_bg = np.ascontiguousarray(bg_per_ost[lanes.ost])
+    out = np.empty(n, dtype=np.float64)
+    kernel = (
+        _staggered_fifo_lanes
+        if bool(np.all(lanes.nbytes == lanes.nbytes[0]))
+        else _staggered_heap_lanes
+    )
+    kernel(
+        float(machine.ost_bandwidth),
+        float(slope),
+        PENALTY_CAP,
+        arrivals,
+        sizes,
+        lanes.order,
+        lane_bg,
+        lanes.starts,
+        lanes.ends,
+        out,
+    )
+    return out

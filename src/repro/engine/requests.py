@@ -23,7 +23,7 @@ import numpy.typing as npt
 
 from ..util import FloatArray, IntArray
 
-__all__ = ["WriteRequest", "RequestBatch", "merge_batches", "split_by_segment"]
+__all__ = ["WriteRequest", "RequestBatch", "LaneOrder", "merge_batches", "split_by_segment"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,37 @@ class WriteRequest:
     tag: int
 
 
+@dataclass(frozen=True)
+class LaneOrder:
+    """A batch's requests regrouped into contiguous per-OST lanes.
+
+    The staggered solvers (vectorized scalar loops, the compiled kernel)
+    and the OST-axis sharding all consume the same view: requests sorted
+    by ``(ost % ost_count, arrival)`` — the exact ``np.lexsort`` order
+    the per-OST loops have always used — with the sorted columns
+    materialised as contiguous arrays so a kernel streams them without
+    gather indirection.  Lane ``k`` occupies ``[starts[k], ends[k])`` of
+    every sorted array and serves OST ``ost[k]``.
+    """
+
+    #: Batch positions in lane order (``out[order[i]]`` scatters back).
+    order: IntArray
+    #: Arrival times in lane order (contiguous).
+    arrival: FloatArray
+    #: Request sizes in lane order (contiguous).
+    nbytes: FloatArray
+    #: Per-lane offsets into the sorted arrays.
+    starts: IntArray
+    ends: IntArray
+    #: The (modded) OST id each lane contends on, one entry per lane.
+    ost: IntArray
+
+    @property
+    def lane_count(self) -> int:
+        """Number of occupied OST lanes."""
+        return int(self.starts.size)
+
+
 class RequestBatch:
     """A batch of write requests as parallel numpy arrays.
 
@@ -44,12 +75,16 @@ class RequestBatch:
     also the order of the completion-time array the solvers return.
     """
 
-    __slots__ = ("arrival", "ost", "nbytes", "tag")
+    __slots__ = ("arrival", "ost", "nbytes", "tag", "_lane_orders")
 
     arrival: FloatArray
     ost: IntArray
     nbytes: FloatArray
     tag: IntArray
+    #: ``ost_count -> LaneOrder`` cache; batches are logically immutable,
+    #: so the (lexsort-dominated) lane grouping is computed once per
+    #: machine width and reused by every subsequent staggered solve.
+    _lane_orders: dict[int, LaneOrder]
 
     def __init__(
         self,
@@ -71,6 +106,47 @@ class RequestBatch:
             self.tag = np.atleast_1d(np.asarray(tag, dtype=np.int64))
             if self.tag.size != n:
                 raise ValueError(f"tag length {self.tag.size} does not match batch length {n}")
+        self._lane_orders = {}
+
+    def lanes(self, ost_count: int) -> LaneOrder:
+        """The batch regrouped into per-OST lanes of a width-``ost_count``
+        machine, computed once and cached (batches are immutable)."""
+        if ost_count < 1:
+            raise ValueError(f"ost_count must be >= 1, got {ost_count}")
+        cached = self._lane_orders.get(ost_count)
+        if cached is not None:
+            return cached
+        ost = self.ost % ost_count
+        order = np.lexsort((self.arrival, ost))
+        ost_sorted = ost[order]
+        n = order.size
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            view = LaneOrder(
+                order=empty,
+                arrival=np.empty(0, dtype=np.float64),
+                nbytes=np.empty(0, dtype=np.float64),
+                starts=empty,
+                ends=empty,
+                ost=empty,
+            )
+            self._lane_orders[ost_count] = view
+            return view
+        is_first = np.empty(n, dtype=bool)
+        is_first[0] = True
+        np.not_equal(ost_sorted[1:], ost_sorted[:-1], out=is_first[1:])
+        starts = np.flatnonzero(is_first)
+        ends = np.append(starts[1:], n)
+        view = LaneOrder(
+            order=order,
+            arrival=np.ascontiguousarray(self.arrival[order]),
+            nbytes=np.ascontiguousarray(self.nbytes[order]),
+            starts=starts,
+            ends=ends,
+            ost=ost_sorted[starts],
+        )
+        self._lane_orders[ost_count] = view
+        return view
 
     @classmethod
     def from_requests(cls, requests: Iterable[WriteRequest]) -> RequestBatch:

@@ -1,0 +1,103 @@
+"""In-solve OST-axis sharding: one solve() spread across a thread pool.
+
+OSTs are independent processor-sharing servers in every backend, so one
+batch can be *deterministically* partitioned along the OST axis and each
+shard solved in parallel — the same discipline as the bit-identical
+``REPRO_JOBS`` sweep pool, applied inside a single solve.  Shard ``s``
+of ``S`` owns the contiguous OST-id range
+``[s * ost_count // S, (s + 1) * ost_count // S)`` — a pure function of
+``(ost_count, S)``, never of the batch — and the per-shard completion
+times scatter back into the caller's request order.  Results are
+bit-identical to the serial solve by construction: every backend treats
+OST lanes independently with identical per-lane arithmetic (the wide and
+simultaneous matrix paths included), so slicing the lane set cannot
+change any lane's values.
+
+Shards run on a thread pool.  With the numba-compiled kernels
+(``repro[fast]``; jitted ``nogil=True``) the threads execute truly in
+parallel; with pure-numpy backends large-array numpy calls still release
+the GIL for much of the work.  ``REPRO_SOLVE_SHARDS=N`` switches it on
+process-wide (default 1 = serial); it composes with ``REPRO_JOBS``,
+which parallelises *across* sweep cells while this parallelises *inside*
+each solve — worker processes inherit the environment, so both knobs
+apply together.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Mapping
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..util import FloatArray, IntArray
+from .machines import Machine
+from .requests import RequestBatch
+
+__all__ = ["SOLVE_SHARDS_ENV", "active_shards", "shard_lane_bounds", "solve_sharded"]
+
+#: Environment variable selecting the in-solve shard count (default 1).
+SOLVE_SHARDS_ENV = "REPRO_SOLVE_SHARDS"
+
+#: A backend solver, as stored in the registry.
+_Solver = Callable[[Machine, RequestBatch, "FloatArray | None", bool], FloatArray]
+
+
+def active_shards(env: Mapping[str, str] | None = None) -> int:
+    """The in-solve shard count ``REPRO_SOLVE_SHARDS`` selects (>= 1)."""
+    raw = (os.environ if env is None else env).get(SOLVE_SHARDS_ENV)
+    if raw is None or not raw.strip():
+        return 1
+    shards = int(raw)
+    if shards < 1:
+        raise ValueError(f"{SOLVE_SHARDS_ENV} must be >= 1, got {shards}")
+    return shards
+
+
+def shard_lane_bounds(ost_count: int, shards: int) -> IntArray:
+    """OST-id boundaries of each shard: shard ``s`` owns ids
+    ``[bounds[s], bounds[s+1])``.
+
+    A pure function of ``(ost_count, shards)`` — never of the batch or
+    of scheduling — so the partition (and therefore the result, which is
+    bit-identical regardless) can never drift between runs.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return (np.arange(shards + 1, dtype=np.int64) * ost_count) // shards
+
+
+def solve_sharded(
+    solver: _Solver,
+    machine: Machine,
+    batch: RequestBatch,
+    background: FloatArray | None,
+    large_writes: bool,
+    shards: int,
+) -> FloatArray:
+    """Solve ``batch`` as ``shards`` independent OST-range sub-batches.
+
+    Returns exactly what ``solver(machine, batch, ...)`` would — same
+    values, bit for bit — with the shards dispatched to a thread pool.
+    """
+    shards = min(shards, machine.ost_count)
+    n = len(batch)
+    if shards <= 1 or n == 0:
+        return solver(machine, batch, background, large_writes)
+    ost = batch.ost % machine.ost_count
+    bounds = shard_lane_bounds(machine.ost_count, shards)
+    shard_id = np.searchsorted(bounds, ost, side="right") - 1
+    parts = [np.flatnonzero(shard_id == s) for s in range(shards)]
+
+    def run_one(idx: IntArray) -> FloatArray:
+        sub = RequestBatch(batch.arrival[idx], ost[idx], batch.nbytes[idx])
+        return solver(machine, sub, background, large_writes)
+
+    out = np.empty(n, dtype=np.float64)
+    occupied = [idx for idx in parts if idx.size]
+    with ThreadPoolExecutor(max_workers=len(occupied)) as pool:
+        futures = [(idx, pool.submit(run_one, idx)) for idx in occupied]
+        for idx, future in futures:
+            out[idx] = future.result()
+    return out

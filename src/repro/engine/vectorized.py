@@ -39,12 +39,13 @@ from __future__ import annotations
 import heapq
 
 import numpy as np
+import numpy.typing as npt
 
 from ..util import FloatArray, IntArray
 from .machines import Machine, PENALTY_CAP
-from .requests import RequestBatch
+from .requests import LaneOrder, RequestBatch
 
-__all__ = ["solve_vectorized"]
+__all__ = ["solve_vectorized", "WIDE_MIN_GROUPS", "STORM_THRESHOLD_WRITES"]
 
 #: Minimum OST-group count before the all-OSTs-at-once matrix solver for
 #: equal-size staggered batches engages.  Stacked multi-replication
@@ -52,6 +53,20 @@ __all__ = ["solve_vectorized"]
 #: the matrix setup; ordinary single-iteration solves keep the per-OST
 #: FIFO pointer loop unchanged.
 WIDE_MIN_GROUPS = 1024
+
+#: The storm-regime validity bound of the wide two-phase solve, in units
+#: of the shared write size: an OST lane qualifies exactly when the
+#: per-stream service accumulated by its last arrival has not passed the
+#: *first* request's completion threshold, which is one write size
+#: (``0 + size``).  Both the fast-path check and the lockstep fallback's
+#: lane selection read this single definition (:func:`_storm_regime`), so
+#: the two sides of the boundary can never drift apart.
+STORM_THRESHOLD_WRITES = 1.0
+
+
+def _storm_regime(service_last: FloatArray, size: float) -> npt.NDArray[np.bool_]:
+    """Which lanes satisfy the storm-regime assumption (exact check)."""
+    return service_last <= STORM_THRESHOLD_WRITES * size
 
 
 def solve_vectorized(
@@ -87,7 +102,9 @@ def solve_vectorized(
         return _solve_wide_fifo(
             machine.ost_bandwidth, slope, ost, arrival, float(batch.nbytes[0]), bg_per_ost
         )
-    return _solve_staggered(machine.ost_bandwidth, slope, ost, arrival, batch.nbytes, bg_per_ost)
+    return _solve_staggered(
+        machine.ost_bandwidth, slope, batch.lanes(machine.ost_count), bg_per_ost
+    )
 
 
 def _per_stream_rate(bw: float, slope: float, streams: FloatArray) -> FloatArray:
@@ -130,7 +147,12 @@ def _solve_simultaneous(
     valid = remaining >= 1
     streams = np.where(valid, remaining, 1.0) + bg_per_ost[ost_sorted[group_start], None]
     dt = np.where(valid, steps / _per_stream_rate(bw, slope, streams), 0.0)
-    finish = np.cumsum(dt, axis=1) + float(t0)
+    # Fold t0 into the first segment so the cumsum accumulates in the
+    # exact order the scalar lane loops do (t0 + dt0) + dt1 + ...; the
+    # simultaneous path is then bit-identical to per-lane event solving,
+    # which the OST-sharding bit-identity guarantee relies on.
+    dt[:, 0] += float(t0)
+    finish = np.cumsum(dt, axis=1)
 
     out = np.empty(n, dtype=np.float64)
     out[order] = finish[group_id, pos]
@@ -140,32 +162,25 @@ def _solve_simultaneous(
 def _solve_staggered(
     bw: float,
     slope: float,
-    ost: IntArray,
-    arrival: FloatArray,
-    nbytes: FloatArray,
+    lanes: LaneOrder,
     bg_per_ost: FloatArray,
 ) -> FloatArray:
-    n = ost.size
-    order = np.lexsort((arrival, ost))
-    ost_sorted = ost[order]
-    boundaries = np.flatnonzero(np.diff(ost_sorted)) + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [n]))
-
+    n = lanes.order.size
     # Equal shares mean equal sizes complete in arrival order, so the
     # pending-completion heap degenerates to a FIFO pointer.
-    equal_sizes = bool(np.all(nbytes == nbytes[0]))
+    equal_sizes = bool(np.all(lanes.nbytes == lanes.nbytes[0]))
 
-    arrivals_sorted = arrival[order].tolist()
-    sizes_sorted = nbytes[order].tolist()
-    positions = order.tolist()
+    arrivals_sorted = lanes.arrival.tolist()
+    sizes_sorted = lanes.nbytes.tolist()
+    positions = lanes.order.tolist()
+    lane_bg = bg_per_ost[lanes.ost].tolist()
     out = np.empty(n, dtype=np.float64)
     solve_one = _solve_one_ost_fifo if equal_sizes else _solve_one_ost
-    for start, end in zip(starts.tolist(), ends.tolist(), strict=True):
+    for lane, (start, end) in enumerate(zip(lanes.starts.tolist(), lanes.ends.tolist(), strict=True)):
         solve_one(
             bw,
             slope,
-            float(bg_per_ost[ost_sorted[start]]),
+            lane_bg[lane],
             arrivals_sorted,
             sizes_sorted,
             positions,
@@ -247,7 +262,7 @@ def _solve_wide_fifo(
     rows = np.arange(groups)
     service_last = service[rows, counts - 1]
     t_last = arrivals[rows, counts - 1]
-    storm = service_last <= size
+    storm = _storm_regime(service_last, size)
 
     # Completion phase: the queue drains FIFO, streams stepping down.
     remaining = counts[:, None] - np.arange(depth)[None, :]

@@ -1,0 +1,119 @@
+"""The ``compiled`` backend: registration, cross-validation, dispatch.
+
+The compiled staggered kernel must be indistinguishable from the other
+backends on results: bit-identical to ``vectorized`` (same arithmetic in
+the same order) and within the fuzz tolerance of ``reference`` (ground
+truth).  These tests pin the registry wiring, both kernel variants (heap
+and FIFO), the simultaneous delegation, the empty batch, and the
+``REPRO_FLOAT32`` storage flag — with or without numba installed, since
+the kernels are the same source either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EXASCALE,
+    KRAKEN,
+    RequestBatch,
+    backend_names,
+    numba_available,
+    solve,
+)
+from repro.engine.compiled import FLOAT32_ENV, solve_compiled
+from repro.util import MB
+
+
+def _staggered_batch(rng, n=300, ost_span=None, equal_sizes=False):
+    ost_span = KRAKEN.ost_count if ost_span is None else ost_span
+    nbytes = float(rng.uniform(MB, 64 * MB)) if equal_sizes else rng.uniform(0.1 * MB, 96 * MB, n)
+    return RequestBatch(
+        arrival=rng.uniform(0.0, 30.0, n),
+        ost=rng.integers(0, ost_span, n),
+        nbytes=nbytes,
+    )
+
+
+def test_compiled_backend_is_registered():
+    assert "compiled" in backend_names()
+    assert isinstance(numba_available(), bool)
+
+
+def test_compiled_matches_reference_on_staggered_batches():
+    rng = np.random.default_rng(2026)
+    for case in range(30):
+        batch = _staggered_batch(rng, ost_span=int(rng.choice([3, 48, KRAKEN.ost_count])))
+        background = rng.poisson(1.5, KRAKEN.ost_count).astype(float) if case % 2 else None
+        large = bool(case % 3)
+        comp = solve(KRAKEN, batch, background=background, large_writes=large, backend="compiled")
+        ref = solve(KRAKEN, batch, background=background, large_writes=large, backend="reference")
+        np.testing.assert_allclose(
+            comp, ref, rtol=1e-9, atol=1e-6, err_msg=f"compiled vs reference, case {case}"
+        )
+
+
+def test_compiled_bit_identical_to_vectorized():
+    # Same arithmetic in the same order: not just close, equal.
+    rng = np.random.default_rng(7)
+    for case in range(30):
+        equal = bool(case % 2)
+        batch = _staggered_batch(rng, equal_sizes=equal)
+        background = rng.poisson(1.0, KRAKEN.ost_count).astype(float) if case % 3 else None
+        comp = solve(KRAKEN, batch, background=background, large_writes=False, backend="compiled")
+        vec = solve(KRAKEN, batch, background=background, large_writes=False, backend="vectorized")
+        np.testing.assert_array_equal(comp, vec, err_msg=f"case {case} (equal_sizes={equal})")
+
+
+def test_compiled_fifo_variant_on_equal_sizes():
+    # Equal sizes route to the FIFO kernel; deep queues exercise it hard.
+    rng = np.random.default_rng(11)
+    batch = _staggered_batch(rng, n=400, ost_span=5, equal_sizes=True)
+    comp = solve(KRAKEN, batch, large_writes=True, backend="compiled")
+    ref = solve(KRAKEN, batch, large_writes=True, backend="reference")
+    np.testing.assert_allclose(comp, ref, rtol=1e-9, atol=1e-6)
+
+
+def test_compiled_simultaneous_delegates_to_matrix_path():
+    rng = np.random.default_rng(13)
+    batch = RequestBatch(
+        arrival=np.full(200, 4.5),
+        ost=rng.integers(0, KRAKEN.ost_count, 200),
+        nbytes=rng.uniform(MB, 64 * MB, 200),
+    )
+    comp = solve(KRAKEN, batch, large_writes=False, backend="compiled")
+    vec = solve(KRAKEN, batch, large_writes=False, backend="vectorized")
+    np.testing.assert_array_equal(comp, vec)
+
+
+def test_compiled_empty_batch():
+    empty = RequestBatch(np.empty(0), np.empty(0, dtype=np.int64), np.empty(0))
+    out = solve_compiled(KRAKEN, empty, None, False)
+    assert out.shape == (0,)
+    assert out.dtype == np.float64
+
+
+def test_compiled_on_exascale_machine():
+    rng = np.random.default_rng(17)
+    batch = RequestBatch(
+        arrival=rng.uniform(0.0, 60.0, 2048),
+        ost=rng.integers(0, EXASCALE.ost_count, 2048),
+        nbytes=rng.uniform(4 * MB, 90 * MB, 2048),
+    )
+    comp = solve(EXASCALE, batch, large_writes=True, backend="compiled")
+    ref = solve(EXASCALE, batch, large_writes=True, backend="reference")
+    np.testing.assert_allclose(comp, ref, rtol=1e-9, atol=1e-6)
+
+
+def test_float32_flag_defaults_off_and_stays_close(monkeypatch):
+    rng = np.random.default_rng(19)
+    batch = _staggered_batch(rng)
+    monkeypatch.delenv(FLOAT32_ENV, raising=False)
+    exact = solve_compiled(KRAKEN, batch, None, False)
+    vec = solve(KRAKEN, batch, large_writes=False, backend="vectorized")
+    np.testing.assert_array_equal(exact, vec)  # flag off: full float64 semantics
+
+    monkeypatch.setenv(FLOAT32_ENV, "1")
+    approx = solve_compiled(KRAKEN, batch, None, False)
+    assert approx.dtype == np.float64  # output stays float64 either way
+    # float32 storage rounds the inputs (~1e-7 relative), nothing worse.
+    np.testing.assert_allclose(approx, exact, rtol=1e-4)

@@ -195,3 +195,45 @@ def test_experiment_tables_identical_across_backends():
     for vrow, rrow in zip(vec, ref, strict=True):
         for key in vrow.keys():
             assert vrow[key] == pytest.approx(rrow[key], rel=1e-9), key
+
+
+def test_storm_threshold_boundary_pinned():
+    """The wide-FIFO validity check lives in one named constant and the
+    boundary case sits exactly on it.
+
+    The storm regime holds while the service accumulated by the last
+    arrival does not exceed ``STORM_THRESHOLD_WRITES`` writes; the bound
+    is inclusive.  Built with exact float arithmetic (power-of-two
+    bandwidth, size, and gap) so ``service_last == size`` lands on the
+    boundary with no rounding, and both sides of it must still match
+    the reference solver bit-for-bit via the per-lane re-solve.
+    """
+    from repro.engine.vectorized import (
+        STORM_THRESHOLD_WRITES,
+        WIDE_MIN_GROUPS,
+        _storm_regime,
+    )
+
+    # The bound is definitionally exact: one write of service.
+    assert STORM_THRESHOLD_WRITES == 1.0  # repro: allow[DET004]
+    size = float(2**20)
+    # Inclusive bound: exactly one write of service is still storm regime.
+    assert bool(_storm_regime(np.array([size]), size))
+    assert not bool(_storm_regime(np.array([np.nextafter(size, np.inf)]), size))
+
+    # Two equal-size requests per lane, gap g: single-stream service at
+    # the second arrival is exactly bw * g.  bw = 2**30, size = 2**20:
+    # g = 2**-10 puts every lane exactly ON the bound (storm path) and
+    # g = 2**-9 pushes every lane past it (lockstep fallback) — both
+    # must agree with the reference event loop exactly.
+    machine = KRAKEN.with_overrides(ost_count=WIDE_MIN_GROUPS, ost_bandwidth=float(2**30))
+    lanes = np.arange(WIDE_MIN_GROUPS, dtype=np.int64)
+    for gap in (2.0**-10, 2.0**-9):
+        batch = RequestBatch(
+            arrival=np.concatenate([np.zeros(WIDE_MIN_GROUPS), np.full(WIDE_MIN_GROUPS, gap)]),
+            ost=np.concatenate([lanes, lanes]),
+            nbytes=size,
+        )
+        vec = solve(machine, batch, large_writes=False, backend="vectorized")
+        ref = solve(machine, batch, large_writes=False, backend="reference")
+        np.testing.assert_array_equal(vec, ref, err_msg=f"gap {gap}")

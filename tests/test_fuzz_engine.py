@@ -4,8 +4,9 @@
   every workload shape the models can produce (simultaneous and
   staggered arrivals, equal and mixed sizes, duplicate tags, background
   load, merged multi-app batches, wide stacked batches that engage the
-  matrix fast path) must agree between the vectorized and reference
-  backends to 1e-9.
+  matrix fast path) must agree with the reference backend to 1e-9 — for
+  *every* backend in the live registry, so a newly registered solver
+  (e.g. ``compiled``) is cross-validated automatically.
 * **Trace record/replay round trip** — a random multi-application
   workload is recorded, saved, reloaded, and replayed; the replay must
   reproduce the recorded per-app completion times exactly on both
@@ -15,7 +16,7 @@
 import numpy as np
 import pytest
 
-from repro.engine import KRAKEN, RequestBatch, merge_batches, solve
+from repro.engine import KRAKEN, RequestBatch, backend_names, merge_batches, solve
 from repro.engine.vectorized import WIDE_MIN_GROUPS
 from repro.util import MB
 from repro.workloads import Workload, replay_trace, run_composition
@@ -51,14 +52,20 @@ def _random_batch(rng: np.random.Generator) -> tuple[RequestBatch, np.ndarray | 
 
 
 def test_fuzz_backends_agree_on_random_batches():
+    # Draw the candidate set from the live registry: every registered
+    # backend (vectorized, compiled, future ones) fuzzes against the
+    # reference ground truth on the same ~100 batches.
+    candidates = [name for name in backend_names() if name != "reference"]
+    assert candidates, "registry must hold at least one non-reference backend"
     rng = np.random.default_rng(20260730)
     for case in range(FUZZ_CASES):
         batch, background, large = _random_batch(rng)
-        vec = solve(KRAKEN, batch, background=background, large_writes=large, backend="vectorized")
         ref = solve(KRAKEN, batch, background=background, large_writes=large, backend="reference")
-        np.testing.assert_allclose(
-            vec, ref, rtol=1e-9, atol=1e-6, err_msg=f"fuzz case {case} diverged"
-        )
+        for name in candidates:
+            got = solve(KRAKEN, batch, background=background, large_writes=large, backend=name)
+            np.testing.assert_allclose(
+                got, ref, rtol=1e-9, atol=1e-6, err_msg=f"fuzz case {case} ({name}) diverged"
+            )
 
 
 def test_fuzz_backends_agree_on_merged_batches():

@@ -1,0 +1,86 @@
+"""In-solve OST sharding: bit-identity, partitioning, env plumbing.
+
+The whole point of :mod:`repro.engine.sharding` is that it is *free* of
+semantic risk: any shard count must return exactly the serial solve's
+bytes.  Hypothesis drives random staggered batches through every backend
+at shard counts 1/2/4 and demands equality, the partition helper is
+pinned as a pure function of ``(ost_count, shards)``, and the
+``REPRO_SOLVE_SHARDS`` parsing is covered including its error cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import KRAKEN, RequestBatch, backend_names, solve
+from repro.engine.sharding import active_shards, shard_lane_bounds, solve_sharded
+from repro.util import MB
+
+_SETTINGS = dict(deadline=None, max_examples=25)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _random_staggered(seed: int, n: int) -> RequestBatch:
+    rng = np.random.default_rng(seed)
+    return RequestBatch(
+        arrival=rng.uniform(0.0, 40.0, n),
+        ost=rng.integers(0, KRAKEN.ost_count * 2, n),
+        nbytes=rng.uniform(0.1 * MB, 96 * MB, n),
+    )
+
+
+@settings(**_SETTINGS)
+@given(seed=seeds, n=st.integers(min_value=1, max_value=300), shards=st.sampled_from([1, 2, 4]))
+def test_sharded_solve_bit_identical_to_serial(seed, n, shards):
+    batch = _random_staggered(seed, n)
+    for backend in backend_names():
+        serial = solve(KRAKEN, batch, large_writes=False, backend=backend, shards=1)
+        sharded = solve(KRAKEN, batch, large_writes=False, backend=backend, shards=shards)
+        np.testing.assert_array_equal(sharded, serial, err_msg=f"backend {backend}")
+
+
+def test_sharded_solve_with_background_and_large_writes():
+    rng = np.random.default_rng(3)
+    batch = _random_staggered(3, 500)
+    background = rng.poisson(1.5, KRAKEN.ost_count).astype(float)
+    for shards in (2, 3, 7, KRAKEN.ost_count + 50):  # oversubscribed clamps
+        serial = solve(KRAKEN, batch, background=background, large_writes=True, shards=1)
+        sharded = solve(KRAKEN, batch, background=background, large_writes=True, shards=shards)
+        np.testing.assert_array_equal(sharded, serial)
+
+
+def test_shard_lane_bounds_partition_the_ost_range():
+    for ost_count in (1, 24, 336, 1024):
+        for shards in (1, 2, 3, 7, 16):
+            bounds = shard_lane_bounds(ost_count, shards)
+            assert bounds[0] == 0
+            assert bounds[-1] == ost_count
+            assert np.all(np.diff(bounds) >= 0)  # contiguous, no overlap
+    with pytest.raises(ValueError, match="shards"):
+        shard_lane_bounds(8, 0)
+
+
+def test_solve_sharded_handles_empty_batch():
+    empty = RequestBatch(np.empty(0), np.empty(0, dtype=np.int64), np.empty(0))
+
+    def solver(machine, batch, background, large_writes):
+        return solve(machine, batch, background=background, large_writes=large_writes)
+
+    out = solve_sharded(solver, KRAKEN, empty, None, False, 4)
+    assert out.shape == (0,)
+
+
+def test_active_shards_env_parsing():
+    assert active_shards({}) == 1
+    assert active_shards({"REPRO_SOLVE_SHARDS": ""}) == 1
+    assert active_shards({"REPRO_SOLVE_SHARDS": "4"}) == 4
+    with pytest.raises(ValueError, match="REPRO_SOLVE_SHARDS"):
+        active_shards({"REPRO_SOLVE_SHARDS": "0"})
+
+
+def test_solve_reads_shards_from_env(monkeypatch):
+    batch = _random_staggered(5, 200)
+    serial = solve(KRAKEN, batch, large_writes=False)
+    monkeypatch.setenv("REPRO_SOLVE_SHARDS", "3")
+    np.testing.assert_array_equal(solve(KRAKEN, batch, large_writes=False), serial)
