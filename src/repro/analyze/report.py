@@ -41,7 +41,7 @@ SCAN_ROOTS = ("src/repro", "tests", "benchmarks")
 
 #: src/repro paths that are tooling, not deterministic library code.
 _TOOLING_PREFIXES = ("src/repro/bench/", "src/repro/analyze/")
-_TOOLING_FILES = ("src/repro/cli.py", "src/repro/__main__.py")
+_TOOLING_FILES = ("src/repro/cli.py", "src/repro/__main__.py", "src/repro/serve/cli.py")
 
 
 @dataclass(frozen=True)

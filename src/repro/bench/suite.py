@@ -40,6 +40,7 @@ from ..experiments import (
 from ..experiments._driver import DEFAULT_INTERFERENCE
 from ..io_models import resolve_approach, resolve_approaches
 from ..scenario import DEFAULT_LADDER, FULL_SCALE_RANKS
+from ..serve import SolveService, demo_stream
 from ..stats import run_replications
 from ..stats.replication import replication_rng
 from ..util import MB, FloatArray
@@ -405,6 +406,64 @@ def _bench_exascale_staggered() -> tuple[Callable[[], None], float]:
             run_once()
 
     return run, 3.0 * work
+
+
+#: The overlapping 10k-request grid both serve macros replay: 1280 unique
+#: solve cells swept 8 times with the arrival order rotated every pass.
+_SERVE_STREAM = {"cells": 1280, "passes": 8, "ranks": 128, "machine": "grid5000", "seed": 0}
+
+
+@functools.cache
+def _serve_stream() -> list:
+    """Shared by the sustained/inline pair; requests are never mutated."""
+    return demo_stream(
+        str(_SERVE_STREAM["machine"]),
+        cells=int(_SERVE_STREAM["cells"]),
+        passes=int(_SERVE_STREAM["passes"]),
+        ranks=int(_SERVE_STREAM["ranks"]),
+        seed=int(_SERVE_STREAM["seed"]),
+    )
+
+
+@register_benchmark(
+    "macro.serve.sustained",
+    kind="macro",
+    params=_SERVE_STREAM,
+    description="10240 overlapping requests through a cold solve service (dedup + coalesce)",
+)
+def _bench_serve_sustained() -> tuple[Callable[[], None], float]:
+    stream = _serve_stream()
+
+    def run() -> None:
+        # A fresh service every round: each measurement pays the full
+        # dedup + memo-build + coalesced-solve cost, no warm cache.
+        service = SolveService(workers=1)
+        for request in stream:
+            service.submit(request)
+        service.flush()
+
+    return run, float(len(stream))
+
+
+@register_benchmark(
+    "macro.serve.inline",
+    kind="macro",
+    params=_SERVE_STREAM,
+    description="the same request stream solved one engine call at a time (baseline)",
+)
+def _bench_serve_inline() -> tuple[Callable[[], None], float]:
+    stream = _serve_stream()
+
+    def run() -> None:
+        for request in stream:
+            solve(
+                request.machine,
+                request.batch,
+                background=request.background,
+                large_writes=request.large_writes,
+            )
+
+    return run, float(len(stream))
 
 
 @register_benchmark(

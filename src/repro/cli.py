@@ -7,6 +7,8 @@ Examples::
     python -m repro run e3 --backend reference --seed 7
     python -m repro run e6 --format json
     python -m repro run e9 --workload "app=bg,ranks=1152,arrival=burst" --trace traces/
+    python -m repro run e1 --serve --serve-workers 2
+    python -m repro serve --cells 16 --passes 8 --compare-inline
     python -m repro machines
     python -m repro approaches
     python -m repro workloads
@@ -39,13 +41,15 @@ from .engine import (
 )
 from .io_models import approach_names, resolve_approach
 from .scenario import FULL_SCALE_RANKS, ScenarioConfig
+from .serve import SERVE_ENV, SERVE_WORKERS_ENV, SolveService
+from .serve.cli import add_serve_parser, run_serve
 from .table import Table
 from .workloads import arrival_process_names, resolve_arrival_process
 
 __all__ = ["main"]
 
 
-def _e1(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e1(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     table = experiments.run_weak_scaling(
         scales=sc.ladder,
         data_per_rank=sc.data_per_rank,
@@ -54,11 +58,12 @@ def _e1(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         seed=sc.seed,
         n_jobs=sc.jobs,
         replications=sc.replications,
+        service=service,
     )
     return {"weak_scaling": table}
 
 
-def _e2(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e2(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     ranks = 2304 if sc.full_scale else 1152
     table = experiments.run_variability(
         ranks=ranks,
@@ -73,7 +78,7 @@ def _e2(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
     return {"variability": table}
 
 
-def _e3(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e3(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     ranks = FULL_SCALE_RANKS if sc.full_scale else 2304
     table = experiments.run_throughput(
         ranks=ranks,
@@ -86,7 +91,7 @@ def _e3(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
     return {"throughput": table}
 
 
-def _e4(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e4(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     table = experiments.run_spare_time(
         scales=sc.ladder,
         data_per_rank=sc.data_per_rank,
@@ -94,16 +99,17 @@ def _e4(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
         machine=sc.machine,
         seed=sc.seed,
         replications=sc.replications,
+        service=service,
     )
     return {"spare_time": table}
 
 
-def _e5(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e5(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     table = experiments.run_compression(output_dir=output_dir, machine=sc.machine, seed=sc.seed)
     return {"compression": table}
 
 
-def _e6(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e6(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     if sc.full_scale:
         machine, ranks = sc.machine, FULL_SCALE_RANKS
     else:
@@ -121,7 +127,7 @@ def _e6(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
     return {"scheduling": table}
 
 
-def _e7(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e7(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     scales = (92, 184, 368, 736) if sc.full_scale else (92, 184, 368)
     return {
         "insitu_scaling": experiments.run_insitu_scaling(
@@ -131,11 +137,11 @@ def _e7(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
     }
 
 
-def _e8(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e8(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     return {"usability": experiments.run_usability(output_dir=output_dir)}
 
 
-def _e9(sc: ScenarioConfig, output_dir: str) -> dict[str, Table]:
+def _e9(sc: ScenarioConfig, output_dir: str, service: SolveService | None) -> dict[str, Table]:
     ranks = 2304 if sc.full_scale else 1152
     table = experiments.run_app_interference(
         ranks=ranks,
@@ -163,7 +169,10 @@ _CHECKS: dict[str, Callable[[Table], None]] = {
     "app_interference": experiments.check_app_interference_shape,
 }
 
-_EXPERIMENTS: dict[str, Callable[[ScenarioConfig, str], dict[str, Table]]] = {
+#: Experiments whose runners accept a solve service (``--serve``).
+_SERVE_EXPERIMENTS = frozenset({"e1", "e4"})
+
+_EXPERIMENTS: dict[str, Callable[[ScenarioConfig, str, SolveService | None], dict[str, Table]]] = {
     "e1": _e1,
     "e2": _e2,
     "e3": _e3,
@@ -208,6 +217,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="independently-seeded replications per cell; > 1 adds "
         "mean/std/cv/p95 and bootstrap-CI columns (stochastic experiments)",
     )
+    run.add_argument(
+        "--serve",
+        action="store_true",
+        help="route the experiment through the memoized solve service "
+        "(e1/e4; bit-identical to the inline path)",
+    )
+    run.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solve-service worker shards (bit-identical at any value)",
+    )
     run.add_argument("--format", choices=("text", "csv", "json"), default="text")
     run.add_argument(
         "--output-dir", default=None, help="artifact directory for e5/e8 (default: temp)"
@@ -229,6 +251,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines", help="list registered machines")
     sub.add_parser("approaches", help="list registered I/O approaches")
     sub.add_parser("workloads", help="list registered arrival processes + workload spec syntax")
+    add_serve_parser(sub)
     add_bench_parser(sub)
     add_analyze_parser(sub)
     return parser
@@ -252,6 +275,10 @@ def _scenario_from_args(args: argparse.Namespace) -> ScenarioConfig:
         env[SOLVE_SHARDS_ENV] = str(args.shards)
     if args.replications is not None:
         env["REPRO_REPLICATIONS"] = str(args.replications)
+    if args.serve:
+        env[SERVE_ENV] = "1"
+    if args.serve_workers is not None:
+        env[SERVE_WORKERS_ENV] = str(args.serve_workers)
     if args.workload is not None:
         env["REPRO_WORKLOAD"] = args.workload
     if args.trace is not None:
@@ -298,6 +325,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("workload spec (REPRO_WORKLOAD / --workload):")
         print("  app=background,ranks=1152,data_mb=45,arrival=burst,approach=file-per-process")
         return 0
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "bench":
         return run_bench(args)
     if args.command == "analyze":
@@ -311,11 +340,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         # worker processes inherit it — one assignment covers both.
         os.environ[SOLVE_SHARDS_ENV] = str(scenario.solve_shards)
 
+    service: SolveService | None = None
+    if scenario.serve:
+        if args.experiment in _SERVE_EXPERIMENTS:
+            service = SolveService(workers=scenario.serve_workers, backend=scenario.backend)
+        else:
+            print(
+                f"note: {args.experiment} has no solve-service path yet; running inline",
+                file=sys.stderr,
+            )
+
     if args.output_dir is not None:
-        tables = _EXPERIMENTS[args.experiment](scenario, args.output_dir)
+        tables = _EXPERIMENTS[args.experiment](scenario, args.output_dir, service)
     else:
         with tempfile.TemporaryDirectory(prefix="repro-") as output_dir:
-            tables = _EXPERIMENTS[args.experiment](scenario, output_dir)
+            tables = _EXPERIMENTS[args.experiment](scenario, output_dir, service)
 
     multiple = len(tables) > 1
     for name, table in tables.items():

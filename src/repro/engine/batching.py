@@ -38,6 +38,7 @@ def solve_many(
     backgrounds: Sequence[FloatArray | None] | None = None,
     large_writes: bool,
     backend: str | None = None,
+    max_stack: int | None = None,
 ) -> list[FloatArray]:
     """Solve independent batches against ``machine`` in one engine call.
 
@@ -46,6 +47,14 @@ def solve_many(
     array per batch, ``None`` for a quiet system).  Returns one
     completion-time array per batch, in batch order — the same values,
     bit for bit, as solving each batch alone on the same backend.
+
+    ``max_stack`` bounds how many batches one virtual-OST stack may hold:
+    longer inputs are solved as consecutive chunks of at most that many
+    batches (the serve layer's mega-batches can hold thousands of cells,
+    and an unbounded stack would materialise ``len(batches) * ost_count``
+    virtual OSTs of background in one allocation).  Chunking is a pure
+    function of ``(len(batches), max_stack)`` and — batches being
+    independent — cannot change a single output bit.
     """
     batches = list(batches)
     if not batches:
@@ -56,6 +65,23 @@ def solve_many(
             raise ValueError(
                 f"got {len(backgrounds)} backgrounds for {len(batches)} batches"
             )
+    if max_stack is not None:
+        if max_stack < 1:
+            raise ValueError(f"max_stack must be >= 1, got {max_stack}")
+        if len(batches) > max_stack:
+            out: list[FloatArray] = []
+            for start in range(0, len(batches), max_stack):
+                stop = start + max_stack
+                out.extend(
+                    solve_many(
+                        machine,
+                        batches[start:stop],
+                        backgrounds=None if backgrounds is None else backgrounds[start:stop],
+                        large_writes=large_writes,
+                        backend=backend,
+                    )
+                )
+            return out
     merged, segments = merge_batches(batches)
     stacked = RequestBatch(
         arrival=merged.arrival,

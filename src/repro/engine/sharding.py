@@ -31,7 +31,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..util import FloatArray, IntArray
+from ..util import FloatArray, IntArray, env_int
 from .machines import Machine
 from .requests import RequestBatch
 
@@ -46,13 +46,7 @@ _Solver = Callable[[Machine, RequestBatch, "FloatArray | None", bool], FloatArra
 
 def active_shards(env: Mapping[str, str] | None = None) -> int:
     """The in-solve shard count ``REPRO_SOLVE_SHARDS`` selects (>= 1)."""
-    raw = (os.environ if env is None else env).get(SOLVE_SHARDS_ENV)
-    if raw is None or not raw.strip():
-        return 1
-    shards = int(raw)
-    if shards < 1:
-        raise ValueError(f"{SOLVE_SHARDS_ENV} must be >= 1, got {shards}")
-    return shards
+    return env_int(os.environ if env is None else env, SOLVE_SHARDS_ENV, default=1)
 
 
 def shard_lane_bounds(ost_count: int, shards: int) -> IntArray:
@@ -91,7 +85,10 @@ def solve_sharded(
     parts = [np.flatnonzero(shard_id == s) for s in range(shards)]
 
     def run_one(idx: IntArray) -> FloatArray:
-        sub = RequestBatch(batch.arrival[idx], ost[idx], batch.nbytes[idx])
+        # Tags ride along: a composed multi-app batch keeps its per-request
+        # app identity inside every shard, so tag-consuming solvers and
+        # wrappers see the same metadata the serial solve would.
+        sub = RequestBatch(batch.arrival[idx], ost[idx], batch.nbytes[idx], batch.tag[idx])
         return solver(machine, sub, background, large_writes)
 
     out = np.empty(n, dtype=np.float64)

@@ -15,8 +15,9 @@ from ..engine import (
     default_backend,
     set_default_backend,
 )
-from ..io_models import IOApproach, IterationResult, resolve_approaches
-from ..stats.replication import cell_rng, run_replications
+from ..io_models import IOApproach, IterationResult, PreparedIteration, resolve_approaches
+from ..serve import SolveService
+from ..stats.replication import cell_rng, replication_rng, run_replications, serve_prepared
 from ..util import seed_key
 
 __all__ = [
@@ -204,6 +205,59 @@ def _resolve_jobs(n_jobs: int | None) -> int:
     return max(1, n_jobs)
 
 
+def _run_sweep_serve(
+    service: SolveService,
+    machine: Machine,
+    scales: Sequence[int],
+    iterations: int,
+    data_per_rank: float,
+    seed: int,
+    interference: Interference,
+    approaches: Sequence[IOApproach],
+    replications: int | None,
+) -> dict[tuple[int, str], list[IterationResult] | list[list[IterationResult]]]:
+    """The sweep's solve-service path: one flush covers every cell.
+
+    Every cell's iterations are *prepared* first — consuming each cell's
+    rng stream in exactly the order the inline path would — and
+    submitted to the service; a single flush then dedups, serves cache
+    hits, and coalesces all remaining cells across the worker shards.
+    Because the service is bit-identical to per-request solving and the
+    rng streams are pure functions of ``(seed, ranks, approach[, r])``,
+    the sweep's output matches the inline path byte for byte.
+    """
+    prepared: list[PreparedIteration] = []
+    spans: list[tuple[int, str, int, int]] = []
+    for ranks in scales:
+        for approach in approaches:
+            start = len(prepared)
+            if replications is None:
+                rng = cell_rng(seed, ranks, approach)
+                prepared.extend(
+                    approach.prepare_iteration(machine, ranks, data_per_rank, rng, interference)
+                    for _ in range(iterations)
+                )
+            else:
+                rngs = [replication_rng(seed, ranks, approach, r) for r in range(replications)]
+                prepared.extend(
+                    approach.prepare_iteration(machine, ranks, data_per_rank, rng, interference)
+                    for rng in rngs
+                    for _ in range(iterations)
+                )
+            spans.append((ranks, approach.name, start, len(prepared)))
+    final = serve_prepared(service, machine, prepared)
+    sweep: dict[tuple[int, str], list[IterationResult] | list[list[IterationResult]]] = {}
+    for ranks, name, start, stop in spans:
+        cell = final[start:stop]
+        if replications is None:
+            sweep[(ranks, name)] = cell
+        else:
+            sweep[(ranks, name)] = [
+                cell[r * iterations : (r + 1) * iterations] for r in range(replications)
+            ]
+    return sweep
+
+
 def run_sweep(
     machine: Machine,
     scales: Sequence[int],
@@ -216,6 +270,7 @@ def run_sweep(
     interference: Interference | None = None,
     replications: int | None = None,
     batched: bool = True,
+    service: SolveService | None = None,
 ) -> dict[tuple[int, str], list[IterationResult] | list[list[IterationResult]]]:
     """Run every (scale, approach) cell, optionally across a process pool.
 
@@ -227,10 +282,28 @@ def run_sweep(
     replications run inside one worker (batched through the stacked
     engine path), so partitioning across processes still cannot change a
     single bit of the output.
+
+    With ``service`` set, the sweep routes through the memoized solve
+    service instead of the ``n_jobs`` pool (the service's own worker
+    shards parallelise the solving): every cell is prepared up front and
+    one flush solves them all, deduplicated and coalesced — bit-identical
+    again, and repeated cells across sweeps cost one cache lookup.
     """
     resolved = resolve_approaches(approaches)
     backend = default_backend()
     effective = _effective_interference(with_interference, interference)
+    if service is not None:
+        return _run_sweep_serve(
+            service,
+            machine,
+            scales,
+            iterations,
+            data_per_rank,
+            seed,
+            effective,
+            resolved,
+            replications,
+        )
     cells = [
         (
             machine,

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..engine import KRAKEN, Interference, Machine, resolve_machine
 from ..io_models import IOApproach, IterationResult, resolve_approaches
+from ..serve import SolveService
 from ..stats import reduce_replications
 from ..table import Table
 from ..util import MB
@@ -77,6 +78,7 @@ def run_weak_scaling(
     interference: Interference | None = None,
     replications: int = 1,
     batched: bool = True,
+    service: SolveService | None = None,
 ) -> Table:
     machine = resolve_machine(machine)
     _validate_replications(replications)
@@ -94,6 +96,7 @@ def run_weak_scaling(
         interference=interference,
         replications=replications if replications > 1 else None,
         batched=batched,
+        service=service,
     )
     table = Table()
     if replications <= 1:

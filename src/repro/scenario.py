@@ -24,6 +24,11 @@ Environment variables recognised by :meth:`ScenarioConfig.from_env`:
                           with ``REPRO_JOBS``)
 ``REPRO_REPLICATIONS``    independently-seeded replications per experiment
                           cell; > 1 adds CI columns (default 1)
+``REPRO_SERVE``           route supporting experiments through the memoized
+                          solve service (``1``/``true``; bit-identical)
+``REPRO_SERVE_WORKERS``   solve-service worker shards (default 1; request →
+                          shard assignment is a pure function of the
+                          request hash, so any value is bit-identical)
 ``REPRO_WORKLOAD``        background workload spec for E9
                           (``app=bg,ranks=1152,data_mb=45,arrival=burst,...``)
 ``REPRO_TRACE``           directory E9 records request traces into (JSONL)
@@ -41,6 +46,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 from .engine import Interference, Machine, active_shards, backend_names, resolve_machine
+from .serve import SERVE_ENV, active_serve_workers
 from .util import MB, env_flag
 from .workloads import Workload
 
@@ -71,6 +77,12 @@ class ScenarioConfig:
     #: Independently-seeded replications per experiment cell; > 1 makes
     #: the stochastic experiments report bootstrap-CI column families.
     replications: int = 1
+    #: Route supporting experiments through the memoized solve service
+    #: (:mod:`repro.serve`); bit-identical to the inline paths.
+    serve: bool = False
+    #: Solve-service worker shards; 1 = in-process.  Any value yields
+    #: bit-identical results (deterministic request → shard assignment).
+    serve_workers: int = 1
     #: Background workload override for E9 (``None`` = the default bursty
     #: file-per-process contender).
     workload: Workload | None = None
@@ -93,6 +105,8 @@ class ScenarioConfig:
             raise ValueError(f"solve_shards must be >= 1, got {self.solve_shards}")
         if self.replications < 1:
             raise ValueError(f"replications must be >= 1, got {self.replications}")
+        if self.serve_workers < 1:
+            raise ValueError(f"serve_workers must be >= 1, got {self.serve_workers}")
 
     def with_overrides(self, **overrides: object) -> ScenarioConfig:
         """A copy of this scenario with some fields replaced."""
@@ -123,6 +137,8 @@ class ScenarioConfig:
             jobs=int(env.get("REPRO_JOBS", "1")),
             solve_shards=active_shards(env),
             replications=int(env.get("REPRO_REPLICATIONS", "1")),
+            serve=env_flag(env, SERVE_ENV),
+            serve_workers=active_serve_workers(env),
             workload=Workload.parse(env["REPRO_WORKLOAD"]) if env.get("REPRO_WORKLOAD") else None,
             trace=env.get("REPRO_TRACE") or None,
         )

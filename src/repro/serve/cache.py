@@ -1,0 +1,86 @@
+"""Content-addressed memoization of solved cells.
+
+The cache maps a canonical request key (:mod:`repro.serve.keys`) to the
+completion-time array its cell solves to.  Because the key digests every
+input that can move an output bit, a hit *is* the solve: the stored
+array is returned read-only, byte for byte what the solver produced.
+Hits and misses are counted per lookup — the accounting the service's
+statistics table and the CI smoke assertion read — and
+:meth:`SolveCache.put` freezes a private copy so no caller can mutate a
+memoized result in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util import FloatArray
+
+__all__ = ["CacheStats", "SolveCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """One snapshot of a cache's lookup accounting."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups seen (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory (0.0 when none yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SolveCache:
+    """An in-memory ``key -> completion times`` memo with hit/miss counts."""
+
+    __slots__ = ("_entries", "_hits", "_misses")
+
+    def __init__(self) -> None:
+        self._entries: dict[str, FloatArray] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> FloatArray | None:
+        """The memoized times for ``key``, or ``None`` (counts the lookup)."""
+        done = self._entries.get(key)
+        if done is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return done
+
+    def put(self, key: str, done: FloatArray) -> FloatArray:
+        """Memoize ``done`` under ``key``; returns the frozen stored copy.
+
+        Re-putting an existing key is a no-op returning the stored array:
+        the key pins the inputs, so any later value is bit-identical by
+        construction and replacing it could only invalidate views already
+        handed out.
+        """
+        stored = self._entries.get(key)
+        if stored is None:
+            stored = np.array(done, dtype=np.float64, copy=True)
+            stored.setflags(write=False)
+            self._entries[key] = stored
+        return stored
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching the hit/miss accounting."""
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses, entries=len(self._entries))

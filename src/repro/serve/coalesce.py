@@ -1,0 +1,89 @@
+"""Coalescing queued cells into ``solve_many`` mega-batches.
+
+The engine's stacked :func:`~repro.engine.solve_many` path solves any
+number of *independent* batches in one call, provided they share a
+machine and a write class (the seek-penalty slope is per solve).  The
+coalescer therefore groups a worker's queued cells into
+:class:`Bucket`\\ s keyed by ``(machine, large_writes)`` — machines are
+frozen dataclasses, so the grouping is plain hashing, no names involved
+— and :func:`solve_buckets` dispatches each bucket through one stacked
+call.
+
+Correctness does not depend on how cells land in buckets: ``solve_many``
+is bit-identical to solving each batch alone, so *any* grouping returns
+the same bytes per cell.  Grouping only buys the wide-stack throughput
+the replication driver already exploits, now across unrelated requests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..engine import Machine, solve_many
+from ..util import FloatArray
+from .request import SolveRequest
+
+__all__ = ["Bucket", "coalesce", "solve_buckets"]
+
+#: Default ceiling on how many cells one virtual-OST stack may hold; see
+#: ``solve_many(max_stack=...)``.  Chunking never changes output bits.
+DEFAULT_MAX_STACK = 512
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """Cells that may share one stacked solve: one machine, one write class."""
+
+    machine: Machine
+    large_writes: bool
+    #: Canonical keys of the bucket's cells, submission order preserved.
+    keys: tuple[str, ...]
+    requests: tuple[SolveRequest, ...]
+
+
+def coalesce(cells: Iterable[tuple[str, SolveRequest]]) -> list[Bucket]:
+    """Group ``(key, request)`` cells into solvable buckets.
+
+    Buckets come back in first-seen order and keep their cells in input
+    order, so the whole arrangement is a pure function of the input
+    sequence — nothing about timing or scheduling can reorder it.
+    """
+    grouped: dict[tuple[Machine, bool], list[tuple[str, SolveRequest]]] = {}
+    for key, request in cells:
+        grouped.setdefault((request.machine, request.large_writes), []).append((key, request))
+    return [
+        Bucket(
+            machine=machine,
+            large_writes=large_writes,
+            keys=tuple(key for key, _ in members),
+            requests=tuple(request for _, request in members),
+        )
+        for (machine, large_writes), members in grouped.items()
+    ]
+
+
+def solve_buckets(
+    buckets: Sequence[Bucket],
+    *,
+    backend: str | None = None,
+    max_stack: int | None = DEFAULT_MAX_STACK,
+) -> list[tuple[str, FloatArray]]:
+    """Solve every bucket through the stacked engine path.
+
+    Returns ``(key, completion times)`` pairs covering every cell of
+    every bucket — the same values, bit for bit, as one
+    :func:`~repro.engine.solve` call per cell.
+    """
+    solved: list[tuple[str, FloatArray]] = []
+    for bucket in buckets:
+        done = solve_many(
+            bucket.machine,
+            [request.batch for request in bucket.requests],
+            backgrounds=[request.background for request in bucket.requests],
+            large_writes=bucket.large_writes,
+            backend=backend,
+            max_stack=max_stack,
+        )
+        solved.extend(zip(bucket.keys, done, strict=True))
+    return solved

@@ -15,6 +15,7 @@ __all__ = [
     "FloatArray",
     "IntArray",
     "env_flag",
+    "env_int",
     "seed_key",
     "replication_seed",
 ]
@@ -44,6 +45,29 @@ def env_flag(env: Mapping[str, str], name: str, *, default: bool = False) -> boo
     if value is None:
         return default
     return value.lower() not in FALSY_FLAGS
+
+
+def env_int(
+    env: Mapping[str, str], name: str, *, default: int, minimum: int = 1
+) -> int:
+    """Parse the integer environment knob ``name``.
+
+    An unset or blank variable yields ``default``.  A set one must spell
+    an integer >= ``minimum``; anything else raises a :class:`ValueError`
+    naming the variable and the offending value, so a typo in e.g.
+    ``REPRO_SOLVE_SHARDS=two`` fails with the knob's name instead of a
+    bare ``invalid literal for int()``.
+    """
+    raw = env.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer >= {minimum}, got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
 
 
 def seed_key(name: str) -> int:

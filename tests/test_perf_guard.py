@@ -84,6 +84,21 @@ def test_compiled_staggered_kernel_beats_vectorized_10x():
     assert_speedup(compiled, vectorized, ratio=10.0, label="compiled vs vectorized staggered")
 
 
+def test_serve_sustained_beats_inline_3x():
+    """The solve service >= 3x inline per-request solving on overlapping
+    traffic.
+
+    The registered 10240-request stream revisits 1280 unique cells 8
+    times; the service pays hashing + dedup + one coalesced solve per
+    unique cell where the inline loop pays 10240 full solves.  Measured
+    gap ~6-7x (the committed ``macro.serve.sustained`` history records
+    the >=5x acceptance number); asserted at 3x for noise margin.
+    """
+    service = _best("macro.serve.sustained", repeats=2)
+    inline = _best("macro.serve.inline", repeats=2)
+    assert_speedup(service, inline, ratio=3.0, label="solve service vs inline solving")
+
+
 def test_perf_strict_escape_hatch_downgrades_to_warning(monkeypatch):
     monkeypatch.setenv("REPRO_PERF_STRICT", "0")
     with pytest.warns(PerfWarning, match="escape-hatch demo"):

@@ -92,6 +92,17 @@ def test_ci_has_static_analysis_job():
     assert "ANALYZE.json" in job
 
 
+def test_ci_has_serve_smoke_job():
+    ci = _ci_text()
+    assert "serve-smoke:" in ci, "the solve-service smoke job must exist"
+    after = ci.split("serve-smoke:")[1]
+    next_job = re.search(r"\n  \w[\w-]*:\n", after)
+    job = after[: next_job.start()] if next_job else after
+    assert "tests/test_serve.py" in job
+    assert "python -m repro serve" in job
+    assert "--compare-inline" in job
+
+
 def test_ci_has_perf_gate_concurrency_and_pip_cache():
     ci = _ci_text()
     assert "bench-perf:" in ci, "the perf-regression gate job must exist"

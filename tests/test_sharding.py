@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.engine import KRAKEN, RequestBatch, backend_names, solve
+from repro.engine import KRAKEN, RequestBatch, backend_names, merge_batches, solve, split_by_segment
 from repro.engine.sharding import active_shards, shard_lane_bounds, solve_sharded
 from repro.util import MB
 
@@ -71,12 +71,59 @@ def test_solve_sharded_handles_empty_batch():
     assert out.shape == (0,)
 
 
+def test_sharded_sub_batches_preserve_tags():
+    """Regression: sub-batch construction used to drop ``batch.tag``,
+    re-numbering every shard 0..n-1 and losing the app identity of
+    composed multi-app batches."""
+    batch = _random_staggered(11, 240)
+    tags = np.arange(240, dtype=np.int64) * 7 + 3  # distinctive, non-default
+    tagged = RequestBatch(batch.arrival, batch.ost, batch.nbytes, tags)
+    seen: dict[int, int] = {}
+
+    def probe(machine, sub, background, large_writes):
+        for tag in sub.tag:
+            seen[int(tag)] = seen.get(int(tag), 0) + 1
+        return solve(machine, sub, background=background, large_writes=large_writes)
+
+    out = solve_sharded(probe, KRAKEN, tagged, None, False, 4)
+    assert sorted(seen) == sorted(int(t) for t in tags)  # every tag, once
+    assert set(seen.values()) == {1}
+    np.testing.assert_array_equal(out, solve(KRAKEN, tagged, large_writes=False, shards=1))
+
+
+def test_sharded_solve_of_tagged_composed_batch_every_backend(monkeypatch):
+    """A composed (E9-style) multi-app batch — overlapping per-app tags —
+    solved under REPRO_SOLVE_SHARDS > 1 must match the serial solve on
+    every registered backend, and split back out per app unchanged."""
+    apps = [_random_staggered(seed, n) for seed, n in ((21, 150), (22, 90), (23, 60))]
+    merged, segments = merge_batches(apps)
+    monkeypatch.delenv("REPRO_SOLVE_SHARDS", raising=False)
+    for backend in backend_names():
+        serial = solve(KRAKEN, merged, large_writes=False, backend=backend, shards=1)
+        monkeypatch.setenv("REPRO_SOLVE_SHARDS", "4")
+        sharded = solve(KRAKEN, merged, large_writes=False, backend=backend)
+        monkeypatch.delenv("REPRO_SOLVE_SHARDS")
+        np.testing.assert_array_equal(sharded, serial, err_msg=f"backend {backend}")
+        # The per-app views recover each application's times unchanged.
+        sharded_parts = split_by_segment(sharded, segments, len(apps))
+        serial_parts = split_by_segment(serial, segments, len(apps))
+        for sharded_part, serial_part in zip(sharded_parts, serial_parts, strict=True):
+            np.testing.assert_array_equal(sharded_part, serial_part)
+
+
 def test_active_shards_env_parsing():
     assert active_shards({}) == 1
     assert active_shards({"REPRO_SOLVE_SHARDS": ""}) == 1
     assert active_shards({"REPRO_SOLVE_SHARDS": "4"}) == 4
     with pytest.raises(ValueError, match="REPRO_SOLVE_SHARDS"):
         active_shards({"REPRO_SOLVE_SHARDS": "0"})
+
+
+def test_active_shards_names_env_var_on_non_numeric_value():
+    """Regression: a non-numeric REPRO_SOLVE_SHARDS used to surface as a
+    bare ``invalid literal for int()`` that never named the knob."""
+    with pytest.raises(ValueError, match=r"REPRO_SOLVE_SHARDS.*'two'"):
+        active_shards({"REPRO_SOLVE_SHARDS": "two"})
 
 
 def test_solve_reads_shards_from_env(monkeypatch):

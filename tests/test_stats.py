@@ -173,6 +173,28 @@ def test_solve_many_edge_cases():
         solve_many(KRAKEN, [one], backgrounds=[None, None], large_writes=True)
     with pytest.raises(ValueError, match="shape"):
         solve_many(KRAKEN, [one], backgrounds=[np.zeros(3)], large_writes=True)
+    with pytest.raises(ValueError, match="max_stack"):
+        solve_many(KRAKEN, [one], large_writes=True, max_stack=0)
+
+
+def test_solve_many_max_stack_chunking_is_bit_identical():
+    rng = np.random.default_rng(7)
+    batches = [
+        RequestBatch(
+            arrival=rng.uniform(0.0, 5.0, 80),
+            ost=rng.integers(0, KRAKEN.ost_count, 80),
+            nbytes=rng.uniform(MB, 64 * MB, 80),
+        )
+        for _ in range(7)
+    ]
+    backgrounds = [rng.poisson(1.0, KRAKEN.ost_count).astype(float), None, None] * 2 + [None]
+    unchunked = solve_many(KRAKEN, batches, backgrounds=backgrounds, large_writes=False)
+    for max_stack in (1, 2, 3, 7, 100):
+        chunked = solve_many(
+            KRAKEN, batches, backgrounds=backgrounds, large_writes=False, max_stack=max_stack
+        )
+        for a, b in zip(unchunked, chunked, strict=True):
+            np.testing.assert_array_equal(a, b)
 
 
 # -- bootstrap -------------------------------------------------------------
